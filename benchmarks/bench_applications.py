@@ -1,0 +1,26 @@
+"""E6 — the database applications end to end.
+
+Regular path query counting, probabilistic query evaluation and probabilistic
+graph homomorphism, each answered through the #NFA reduction and the paper's
+FPRAS, and each validated against an independent exact evaluator.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import run_applications
+from repro.harness.reporting import format_table
+
+
+def test_e6_applications(benchmark, report):
+    result = benchmark.pedantic(
+        run_applications, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    report(format_table(result.rows, title=f"E6: {result.description}"))
+    for note in result.notes:
+        report(f"E6 note: {note}")
+
+    assert len(result.rows) == 3
+    for row in result.rows:
+        assert row["exact"] > 0
+        assert row["rel_error"] < 0.5, row
+        assert row["nfa_states"] > 0

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the FPRAS building blocks.
+
+Not tied to a specific experiment id; these time the individual components
+(exact subset DP, determinisation, AppUnion, one full FPRAS run, the ACJR
+baseline) so regressions in any layer are visible independently of the
+experiment-level numbers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata.dfa import determinize
+from repro.automata.exact import count_exact
+from repro.automata.families import substring_nfa, suffix_nfa, union_of_patterns_nfa
+from repro.counting.acjr import count_nfa_acjr
+from repro.counting.fpras import count_nfa
+from repro.counting.params import FPRASParameters, ParameterScale
+from repro.counting.union import SetAccess, approximate_union
+
+LENGTH = 10
+
+
+def test_bench_exact_subset_dp(benchmark):
+    nfa = union_of_patterns_nfa(["00", "11", "0101"])
+    value = benchmark(count_exact, nfa, LENGTH)
+    assert value > 0
+
+
+def test_bench_determinize(benchmark):
+    nfa = suffix_nfa("010110")
+    dfa = benchmark(determinize, nfa)
+    assert dfa.num_states >= nfa.num_states
+
+
+def test_bench_appunion(benchmark):
+    rng = random.Random(0)
+    parameters = FPRASParameters(
+        epsilon=0.3, scale=ParameterScale.practical(union_trial_cap=200)
+    )
+    universe = list(range(200))
+    sets = []
+    for start in range(0, 200, 40):
+        elements = universe[start : start + 80]
+        sets.append(
+            SetAccess(
+                oracle=lambda item, members=frozenset(elements): item in members,
+                samples=[rng.choice(elements) for _ in range(64)],
+                size_estimate=len(elements),
+            )
+        )
+
+    def run():
+        return approximate_union(
+            sets, epsilon=0.2, delta=0.05, size_slack=0.0, parameters=parameters,
+            rng=random.Random(1),
+        )
+
+    estimate = benchmark(run)
+    assert 100 <= estimate.estimate <= 300
+
+
+def test_bench_fpras_full_run(benchmark):
+    nfa = substring_nfa("101")
+    exact = count_exact(nfa, LENGTH)
+
+    def run():
+        return count_nfa(nfa, LENGTH, epsilon=0.3, seed=1)
+
+    result = benchmark(run)
+    assert result.relative_error(exact) < 0.5
+
+
+def test_bench_acjr_full_run(benchmark):
+    nfa = substring_nfa("101")
+    exact = count_exact(nfa, LENGTH)
+
+    def run():
+        return count_nfa_acjr(nfa, LENGTH, epsilon=0.3, sample_cap=48, seed=1)
+
+    result = benchmark(run)
+    assert result.relative_error(exact) < 0.5

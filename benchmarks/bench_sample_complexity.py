@@ -1,0 +1,35 @@
+"""E1 — samples maintained per (state, level): ACJR vs this paper.
+
+Regenerates the comparison that motivates the paper (Section 1): the prior
+FPRAS keeps ``O((mn/eps)^7)`` samples per state while the new scheme keeps
+``Õ(n^4/eps^2)`` — independent of ``m``.  The benchmark times the formula
+sweep (cheap) and, more importantly, prints the resulting table and asserts
+its shape: the new scheme's per-state sample count never exceeds ACJR's and
+does not grow with ``m``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import run_sample_complexity
+from repro.harness.reporting import format_table
+
+
+def test_e1_sample_complexity_table(benchmark, report):
+    result = benchmark.pedantic(
+        run_sample_complexity, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    report(format_table(result.rows, title=f"E1: {result.description}"))
+
+    # Shape assertions: the paper's scheme always needs (far) fewer samples,
+    # and its per-state count is independent of m.
+    for row in result.rows:
+        assert row["paper_samples"] <= row["acjr_samples"]
+    by_n_eps = {}
+    for row in result.rows:
+        by_n_eps.setdefault((row["n"], row["epsilon"]), set()).add(row["paper_samples"])
+    assert all(len(values) == 1 for values in by_n_eps.values())
+
+    # The gap widens as m grows (ACJR scales with m^7).
+    fixed = [row for row in result.rows if row["n"] == 10 and row["epsilon"] == 0.5]
+    ratios = [row["sample_ratio"] for row in sorted(fixed, key=lambda r: r["m"])]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,34 @@
+"""E5 — scaling with the accuracy target ``1/epsilon``.
+
+The paper's sample bound per state is ``Õ(n^4/eps^2)`` and its time bound
+carries ``eps^-4`` (versus ACJR's ``eps^-7`` samples and ``eps^-14`` time).
+The benchmark sweeps ``epsilon`` on a fixed instance, reports measured time
+and error, and asserts that the paper-formula sample requirement grows like
+``eps^-2`` across the sweep (the operational, capped values are also shown).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.harness.experiments import run_scaling_epsilon
+from repro.harness.reporting import format_table
+
+
+def test_e5_scaling_with_epsilon(benchmark, report):
+    result = benchmark.pedantic(
+        run_scaling_epsilon, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    report(format_table(result.rows, title=f"E5: {result.description}"))
+
+    rows = result.rows
+    assert len(rows) >= 2
+    # Paper formula: ns ~ eps^-2 (up to the log factor).
+    first, last = rows[0], rows[-1]
+    eps_first = float(str(first["epsilon"]).split("=")[-1])
+    eps_last = float(str(last["epsilon"]).split("=")[-1])
+    expected_ratio = (eps_first / eps_last) ** 2
+    measured_ratio = last["paper_ns_formula"] / first["paper_ns_formula"]
+    assert measured_ratio >= 0.8 * expected_ratio
+    for row in rows:
+        assert row["fpras_rel_error"] < 1.0

@@ -1,0 +1,28 @@
+"""E4 — runtime scaling with the number of automaton states ``m``.
+
+The paper's headline structural improvement is that the number of samples
+kept per (state, level) is *independent of m*; total work then grows only
+because there are more states to process (low-degree polynomial in ``m``).
+The benchmark measures runtime over an ``m`` sweep and asserts (a) accuracy
+holds across the sweep and (b) the configured samples-per-state stays
+constant as ``m`` grows.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import run_scaling_states
+from repro.harness.reporting import format_table
+
+
+def test_e4_scaling_with_states(benchmark, report):
+    result = benchmark.pedantic(
+        run_scaling_states, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    report(format_table(result.rows, title=f"E4: {result.description}"))
+    for note in result.notes:
+        report(f"E4 note: {note}")
+
+    samples_per_state = {row["fpras_samples_per_state"] for row in result.rows}
+    assert len(samples_per_state) == 1, "per-state sample count must not depend on m"
+    for row in result.rows:
+        assert row["fpras_rel_error"] < 0.6

@@ -1,0 +1,33 @@
+"""E3 — runtime scaling with the word length ``n``.
+
+Theorem 3 bounds the runtime polynomially in ``n``.  The benchmark measures
+wall-clock time of the (scaled) FPRAS as ``n`` grows on a fixed automaton,
+alongside the exact counter and the naive Monte-Carlo baseline, and asserts
+that the estimates stay accurate while the measured growth is polynomial
+(empirical log-log exponent far below exponential blow-up).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import growth_exponent
+from repro.harness.experiments import run_scaling_length
+from repro.harness.reporting import format_table
+
+
+def test_e3_scaling_with_length(benchmark, report):
+    result = benchmark.pedantic(
+        run_scaling_length, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    report(format_table(result.rows, title=f"E3: {result.description}"))
+    for note in result.notes:
+        report(f"E3 note: {note}")
+
+    lengths = [row["length"] for row in result.rows]
+    times = [row["fpras_seconds"] for row in result.rows]
+    for row in result.rows:
+        assert row["fpras_rel_error"] < 0.6
+    if all(t > 0 for t in times) and len(times) >= 3:
+        exponent = growth_exponent([float(n) for n in lengths], times)
+        # Theorem 3's dependence is a low-degree polynomial in n; anything
+        # below ~6 here is consistent, exponential growth would exceed it.
+        assert exponent < 8.0

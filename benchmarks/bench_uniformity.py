@@ -1,0 +1,31 @@
+"""E7 — uniformity of the word sampler (Inv-2) and sampling acceptance rate.
+
+On small slices where the uniform distribution is enumerable, the benchmark
+draws a batch of words through the counting→sampling direction and measures
+the total-variation distance from uniform.  Inv-2 predicts the distance is
+dominated by finite-sample noise; the per-attempt acceptance rate should sit
+near the analytical ``2/(3e) ≈ 0.245`` (Theorem 2's success probability with
+accurate estimates).
+"""
+
+from __future__ import annotations
+
+from repro.counting.params import SAMPLE_SUCCESS_LOWER_BOUND
+from repro.harness.experiments import run_uniformity
+from repro.harness.reporting import format_table
+
+
+def test_e7_sampler_uniformity(benchmark, report):
+    result = benchmark.pedantic(
+        run_uniformity, kwargs={"quick": True, "sample_count": 300}, rounds=1, iterations=1
+    )
+    report(format_table(result.rows, title=f"E7: {result.description}"))
+    for note in result.notes:
+        report(f"E7 note: {note}")
+
+    for row in result.rows:
+        # TV distance should not exceed sampling noise by much.
+        assert row["excess_tv"] <= 0.15, row
+        # Acceptance rate at least the paper's worst-case lower bound 2/(3e^2),
+        # and typically near 2/(3e).
+        assert row["acceptance_rate"] >= SAMPLE_SUCCESS_LOWER_BOUND * 0.8, row

@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one experiment from the index in DESIGN.md
+(E1 … E7 plus the ablations).  Benchmarks print their result tables so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the report data, and
+each asserts the *shape* of the paper's claim (who wins, what stays flat)
+rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks are regular pytest items; nothing special to register, but
+    # keeping a conftest here ensures `pytest benchmarks/` works standalone
+    # (without inheriting fixtures from the unit-test tree).
+    _ = config
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Collect printable report blocks and emit them at the end of the session."""
+    blocks = []
+    yield blocks.append
+    if blocks:
+        print("\n")
+        for block in blocks:
+            print(block)
+            print()

@@ -1,0 +1,92 @@
+"""Head-to-head comparison: this paper's FPRAS vs the ACJR baseline vs others.
+
+Reproduces, at laptop scale, the comparison that motivates the paper: on the
+same instances, the new FPRAS keeps far fewer samples per state than an
+ACJR-style implementation and runs faster, while naive Monte-Carlo collapses
+as the language gets sparse and exact counting collapses as the automaton
+gets large.  Paper-formula sample counts are printed next to the measured
+(scaled) values so the configured gap is visible too.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.automata.exact import count_exact, language_density
+from repro.automata.families import suffix_nfa, union_of_patterns_nfa
+from repro.counting.acjr import count_nfa_acjr
+from repro.counting.fpras import count_nfa
+from repro.counting.montecarlo import count_montecarlo
+from repro.counting.params import acjr_samples_per_state, paper_samples_per_state
+from repro.harness.reporting import format_table
+
+EPSILON = 0.3
+LENGTH = 12
+
+
+def compare_on(name, nfa):
+    exact = count_exact(nfa, LENGTH)
+    rows = []
+
+    started = time.perf_counter()
+    fpras = count_nfa(nfa, LENGTH, epsilon=EPSILON, seed=1)
+    rows.append(
+        {
+            "method": "FPRAS (this paper)",
+            "estimate": round(fpras.estimate, 1),
+            "rel_error": round(fpras.relative_error(exact), 4),
+            "seconds": round(time.perf_counter() - started, 3),
+            "samples/state (scaled)": fpras.ns,
+            "samples/state (paper formula)": f"{paper_samples_per_state(LENGTH, EPSILON):.2e}",
+        }
+    )
+
+    started = time.perf_counter()
+    acjr = count_nfa_acjr(nfa, LENGTH, epsilon=EPSILON, sample_cap=96, seed=1)
+    rows.append(
+        {
+            "method": "ACJR-style baseline",
+            "estimate": round(acjr.estimate, 1),
+            "rel_error": round(acjr.relative_error(exact), 4),
+            "seconds": round(time.perf_counter() - started, 3),
+            "samples/state (scaled)": acjr.ns,
+            "samples/state (paper formula)": f"{acjr_samples_per_state(nfa.num_states, LENGTH, EPSILON):.2e}",
+        }
+    )
+
+    started = time.perf_counter()
+    montecarlo = count_montecarlo(nfa, LENGTH, num_samples=5000, seed=1)
+    rows.append(
+        {
+            "method": "naive Monte-Carlo (5k words)",
+            "estimate": round(montecarlo.estimate, 1),
+            "rel_error": round(montecarlo.relative_error(exact), 4),
+            "seconds": round(time.perf_counter() - started, 3),
+        }
+    )
+
+    rows.append({"method": "exact (subset DP)", "estimate": exact, "rel_error": 0.0})
+    density = language_density(nfa, LENGTH)
+    print(
+        format_table(
+            rows,
+            title=f"{name}: m={nfa.num_states}, n={LENGTH}, density={density:.3g}",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    compare_on("words ending in 010110 (sparse, nondeterministic)", suffix_nfa("010110"))
+    compare_on(
+        "words containing 00, 11 or 0101 (dense, overlapping unions)",
+        union_of_patterns_nfa(["00", "11", "0101"]),
+    )
+
+
+if __name__ == "__main__":
+    main()

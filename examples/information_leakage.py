@@ -1,0 +1,89 @@
+"""Estimating information leakage from the observable-output automaton.
+
+A "beyond databases" application from the paper's introduction: if the set of
+observables a program can emit (log lines, timing buckets, side-channel
+traces) is described by an automaton over an output alphabet, then the number
+of distinct length-n observables bounds the information an adversary can
+learn — ``log2 |L(A_n)|`` bits.  A (1+eps) approximation of the count gives a
+``log2(1+eps)``-bit additive bound, so an FPRAS is exactly the right tool.
+
+The example models a toy password checker that emits one comparison-outcome
+symbol per character and stops at the first mismatch (the classic segmented
+oracle), and compares the leakage bound of the leaky checker against a
+constant-time variant.
+
+Run with::
+
+    python examples/information_leakage.py
+"""
+
+from __future__ import annotations
+
+from repro.applications.leakage import estimate_leakage_bits
+from repro.automata.nfa import NFA
+from repro.harness.reporting import format_table
+
+
+def leaky_checker_observables(secret_length: int) -> NFA:
+    """Observable traces of an early-exit comparison over a 4-character secret.
+
+    The checker emits 'm' (match) per matched character and a single 'x' at
+    the first mismatch followed by 'p' padding symbols; the adversary sees
+    where the comparison stopped.
+    """
+    transitions = []
+    for position in range(secret_length):
+        transitions.append((f"c{position}", "m", f"c{position + 1}"))
+        transitions.append((f"c{position}", "x", "pad"))
+    transitions.append((f"c{secret_length}", "m", f"c{secret_length}"))
+    transitions.append(("pad", "p", "pad"))
+    return NFA.build(
+        transitions,
+        initial="c0",
+        accepting=[f"c{secret_length}", "pad"],
+        alphabet=("m", "x", "p"),
+    )
+
+
+def constant_time_observables(secret_length: int) -> NFA:
+    """A constant-time checker emits only a single accept/reject at the end."""
+    transitions = []
+    for position in range(secret_length - 1):
+        transitions.append((f"c{position}", "t", f"c{position + 1}"))
+    transitions.append((f"c{secret_length - 1}", "y", "done"))
+    transitions.append((f"c{secret_length - 1}", "n", "done"))
+    transitions.append(("done", "t", "done"))
+    return NFA.build(
+        transitions, initial="c0", accepting=["done"], alphabet=("t", "y", "n")
+    )
+
+
+def main() -> None:
+    trace_length = 8
+    rows = []
+    for name, automaton in (
+        ("early-exit checker", leaky_checker_observables(8)),
+        ("constant-time checker", constant_time_observables(8)),
+    ):
+        exact = estimate_leakage_bits(automaton, trace_length, method="exact")
+        approx = estimate_leakage_bits(
+            automaton, trace_length, method="fpras", epsilon=0.2, seed=4
+        )
+        rows.append(
+            {
+                "program": name,
+                "observables (exact)": int(exact.observable_count),
+                "leakage bits (exact)": round(exact.leakage_bits, 3),
+                "leakage bits (FPRAS)": round(approx.leakage_bits, 3),
+                "error (bits)": round(approx.absolute_error_bits(int(exact.observable_count)), 3),
+            }
+        )
+    print(format_table(rows, title=f"channel-capacity leakage bound, trace length {trace_length}"))
+    print(
+        "\nThe early-exit checker leaks ~log2(secret length) bits per run;"
+        " the constant-time variant leaks at most 1 bit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Probabilistic query evaluation and graph homomorphism through #NFA.
+
+Two of the paper's motivating applications on tuple-independent data:
+
+1. PQE — the probability that a self-join-free path query holds on a random
+   sub-database, recovered as ``|L(A_N)| / 2^N`` for the coin-word automaton;
+2. probabilistic graph homomorphism for a layered path query, reduced to the
+   same machinery.
+
+Both are compared against exact enumeration and a naive Monte-Carlo sampler.
+
+Run with::
+
+    python examples/probabilistic_query_evaluation.py
+"""
+
+from __future__ import annotations
+
+from repro.applications.pqe import (
+    PathQuery,
+    PQEReduction,
+    ProbabilisticDatabase,
+    evaluate_path_query,
+    exact_probability,
+)
+from repro.applications.prob_graph import (
+    LayeredProbabilisticGraph,
+    homomorphism_probability,
+)
+from repro.harness.reporting import format_key_values, format_table
+
+
+def build_database() -> ProbabilisticDatabase:
+    """An uncertain two-hop "author wrote paper, paper cites topic" database."""
+    database = ProbabilisticDatabase()
+    database.add_fact("wrote", "ada", "p1", 0.75)
+    database.add_fact("wrote", "ada", "p2", 0.5)
+    database.add_fact("wrote", "byron", "p2", 0.25)
+    database.add_fact("cites", "p1", "logic", 0.5)
+    database.add_fact("cites", "p2", "logic", 0.75)
+    return database
+
+
+def run_pqe() -> None:
+    database = build_database()
+    query = PathQuery(("wrote", "cites"))
+    reduction = PQEReduction(database, query, bits=2)
+
+    print(format_key_values(reduction.reduction_size(), title="PQE coin-word reduction"))
+    exact = exact_probability(database, query)
+    rows = [
+        {"method": "exact (world enumeration)", "probability": round(exact, 5)},
+        {
+            "method": "exact on coin-word NFA",
+            "probability": round(reduction.exact_rounded_probability(), 5),
+        },
+        {
+            "method": "FPRAS (this paper)",
+            "probability": round(
+                evaluate_path_query(
+                    database, query, method="fpras", epsilon=0.25, bits=2, seed=3
+                ).probability,
+                5,
+            ),
+        },
+        {
+            "method": "naive Monte-Carlo (10k worlds)",
+            "probability": round(
+                evaluate_path_query(
+                    database, query, method="montecarlo", num_samples=10_000, seed=3
+                ).probability,
+                5,
+            ),
+        },
+    ]
+    print(format_table(rows, title="P[ ∃x,y,z: wrote(x,y) ∧ cites(y,z) ]"))
+
+
+def run_graph_homomorphism() -> None:
+    graph = LayeredProbabilisticGraph()
+    graph.add_layer(["u1", "u2"])       # sources
+    graph.add_layer(["v1", "v2", "v3"])  # middle layer
+    graph.add_layer(["w1"])              # sink
+    graph.add_edge(0, "u1", "v1", 0.5)
+    graph.add_edge(0, "u1", "v2", 0.25)
+    graph.add_edge(0, "u2", "v2", 0.5)
+    graph.add_edge(0, "u2", "v3", 0.75)
+    graph.add_edge(1, "v1", "w1", 0.5)
+    graph.add_edge(1, "v2", "w1", 0.5)
+    graph.add_edge(1, "v3", "w1", 0.25)
+
+    rows = [
+        {
+            "method": "exact (subgraph enumeration)",
+            "probability": round(graph.exact_probability(), 5),
+        },
+        {
+            "method": "FPRAS via #NFA",
+            "probability": round(
+                homomorphism_probability(graph, method="fpras", epsilon=0.25, seed=9).probability,
+                5,
+            ),
+        },
+        {
+            "method": "Monte-Carlo on subgraphs",
+            "probability": round(graph.montecarlo_probability(10_000, seed=9), 5),
+        },
+    ]
+    print()
+    print(format_table(rows, title="P[ a length-2 path survives in the probabilistic graph ]"))
+
+
+def main() -> None:
+    run_pqe()
+    run_graph_homomorphism()
+
+
+if __name__ == "__main__":
+    main()

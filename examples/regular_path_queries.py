@@ -1,0 +1,79 @@
+"""Regular path queries on a graph database, answered through #NFA.
+
+The paper's primary database motivation: counting (and sampling) the paths
+between two nodes of an edge-labeled graph whose labels match a regular
+expression reduces, via a linear-size product construction, to #NFA.  This
+example builds a small "who knows whom / who works where" graph, counts the
+answers of an RPQ exactly and approximately, and samples a few answer paths.
+
+Run with::
+
+    python examples/regular_path_queries.py
+"""
+
+from __future__ import annotations
+
+from repro.applications.graphdb import GraphDatabase, RegularPathQuery, RPQCounter
+from repro.harness.reporting import format_key_values, format_table
+
+
+def build_database() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [
+            ("alice", "knows", "bob"),
+            ("alice", "knows", "carol"),
+            ("bob", "knows", "carol"),
+            ("bob", "knows", "dave"),
+            ("carol", "knows", "dave"),
+            ("carol", "knows", "erin"),
+            ("dave", "knows", "erin"),
+            ("bob", "worksAt", "acme"),
+            ("carol", "worksAt", "acme"),
+            ("dave", "worksAt", "acme"),
+            ("erin", "worksAt", "initech"),
+        ]
+    )
+
+
+def main() -> None:
+    database = build_database()
+    # "Colleagues reachable from alice": follow knows-edges any number of
+    # times, then a worksAt edge into acme, using at most 6 edges.
+    query = RegularPathQuery(
+        source="alice",
+        pattern="(<knows>)*<worksAt>",
+        target="acme",
+        max_length=6,
+    )
+    counter = RPQCounter(database, query, semantics="paths")
+
+    print(format_key_values(counter.reduction_size(), title="reduction to #NFA"))
+    print()
+
+    exact = counter.count_exact()
+    approx = counter.count_fpras(epsilon=0.25, seed=11)
+    rows = [
+        {"method": "exact (#NFA subset DP)", "answers": exact},
+        {
+            "method": "FPRAS (this paper)",
+            "answers": round(approx.estimate, 2),
+            "rel_error": round(abs(approx.estimate - exact) / exact, 4) if exact else 0.0,
+        },
+    ]
+    print(format_table(rows, title=f"answers to {query.pattern!r} from alice to acme"))
+
+    print("\nthree sampled answer paths:")
+    for path in counter.sample_answers(3, epsilon=0.3, seed=5):
+        rendered = " -> ".join(f"{src} -[{label}]" for src, label, _dst in path)
+        print("  ", rendered, "->", path[-1][2])
+
+    # Label semantics: count distinct label sequences instead of paths.
+    label_counter = RPQCounter(database, query, semantics="labels")
+    print(
+        f"\ndistinct matching label sequences (length <= {query.max_length}): "
+        f"{label_counter.count_exact()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

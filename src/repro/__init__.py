@@ -1,0 +1,74 @@
+"""repro — a reproduction of "A faster FPRAS for #NFA" (PODS 2024).
+
+The package provides:
+
+* the automata substrate (:mod:`repro.automata`): NFAs, DFAs, regex
+  compilation, unrolled automata and exact counters;
+* the paper's FPRAS and its subroutines plus baselines (:mod:`repro.counting`);
+* the database applications its introduction motivates
+  (:mod:`repro.applications`): regular path queries over graph databases,
+  probabilistic query evaluation and probabilistic graph homomorphism;
+* analysis utilities (:mod:`repro.analysis`), workload generators
+  (:mod:`repro.workloads`) and the experiment harness (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import NFA, count_nfa
+    nfa = NFA.build([("s", "0", "s"), ("s", "1", "t"), ("t", "0", "t"), ("t", "1", "t")],
+                    initial="s", accepting=["t"])
+    result = count_nfa(nfa, length=12, epsilon=0.3, seed=7)
+    print(result.estimate)
+"""
+
+from repro.automata import (
+    DFA,
+    NFA,
+    UnrolledAutomaton,
+    compile_regex,
+    count_exact,
+    count_per_state_exact,
+    determinize,
+    minimize,
+    word_from_string,
+    word_to_string,
+)
+from repro.counting import (
+    ACJRCounter,
+    CountResult,
+    FPRASParameters,
+    NFACounter,
+    ParameterScale,
+    UniformWordSampler,
+    approximate_union,
+    count_bruteforce,
+    count_montecarlo,
+    count_nfa,
+    count_nfa_acjr,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "UnrolledAutomaton",
+    "compile_regex",
+    "determinize",
+    "minimize",
+    "count_exact",
+    "count_per_state_exact",
+    "word_from_string",
+    "word_to_string",
+    "NFACounter",
+    "CountResult",
+    "FPRASParameters",
+    "ParameterScale",
+    "UniformWordSampler",
+    "approximate_union",
+    "count_nfa",
+    "count_nfa_acjr",
+    "ACJRCounter",
+    "count_bruteforce",
+    "count_montecarlo",
+    "__version__",
+]

@@ -1,0 +1,134 @@
+"""Accuracy evaluation of approximate counters against exact ground truth.
+
+The paper's headline guarantee (Theorem 3) is multiplicative:
+``|L(A_n)|/(1+eps) <= Est <= (1+eps)|L(A_n)|`` with probability at least
+``1 - delta``.  :func:`evaluate_accuracy` runs an estimator repeatedly on one
+instance, compares against the exact count and summarises the error
+distribution — the data behind experiment E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.statistics import mean_confidence_interval, quantile
+from repro.automata.exact import count_exact
+from repro.automata.nfa import NFA
+
+#: An estimator maps (nfa, length, trial_seed) to a numeric estimate.
+Estimator = Callable[[NFA, int, int], float]
+
+
+@dataclass
+class AccuracyReport:
+    """Error statistics of repeated estimator runs on one instance."""
+
+    name: str
+    length: int
+    exact: int
+    epsilon: float
+    estimates: List[float] = field(default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        return len(self.estimates)
+
+    @property
+    def relative_errors(self) -> List[float]:
+        if self.exact == 0:
+            return [0.0 if estimate == 0 else float("inf") for estimate in self.estimates]
+        return [abs(estimate - self.exact) / self.exact for estimate in self.estimates]
+
+    @property
+    def mean_relative_error(self) -> float:
+        errors = self.relative_errors
+        return sum(errors) / len(errors) if errors else 0.0
+
+    @property
+    def max_relative_error(self) -> float:
+        errors = self.relative_errors
+        return max(errors) if errors else 0.0
+
+    @property
+    def median_relative_error(self) -> float:
+        errors = self.relative_errors
+        return quantile(errors, 0.5) if errors else 0.0
+
+    @property
+    def within_guarantee_fraction(self) -> float:
+        """Fraction of trials satisfying the multiplicative (1 + eps) guarantee."""
+        if not self.estimates:
+            return 1.0
+        if self.exact == 0:
+            return sum(1 for estimate in self.estimates if estimate == 0) / self.trials
+        lower = self.exact / (1.0 + self.epsilon)
+        upper = self.exact * (1.0 + self.epsilon)
+        inside = sum(1 for estimate in self.estimates if lower <= estimate <= upper)
+        return inside / self.trials
+
+    def mean_estimate_interval(self, confidence: float = 0.95):
+        """(mean, low, high) interval of the raw estimates."""
+        return mean_confidence_interval(self.estimates, confidence)
+
+    def summary(self) -> dict:
+        """Flat dictionary used by the harness's table printer."""
+        return {
+            "name": self.name,
+            "length": self.length,
+            "exact": self.exact,
+            "epsilon": self.epsilon,
+            "trials": self.trials,
+            "mean_rel_error": self.mean_relative_error,
+            "median_rel_error": self.median_relative_error,
+            "max_rel_error": self.max_relative_error,
+            "within_guarantee": self.within_guarantee_fraction,
+        }
+
+
+def evaluate_accuracy(
+    name: str,
+    nfa: NFA,
+    length: int,
+    estimator: Estimator,
+    epsilon: float,
+    trials: int = 5,
+    exact: Optional[int] = None,
+    base_seed: int = 0,
+) -> AccuracyReport:
+    """Run ``estimator`` ``trials`` times and compare against the exact count.
+
+    ``estimator`` receives a distinct seed per trial (``base_seed + index``)
+    so repeated runs are independent yet reproducible.
+    """
+    if exact is None:
+        exact = count_exact(nfa, length)
+    report = AccuracyReport(name=name, length=length, exact=exact, epsilon=epsilon)
+    for index in range(trials):
+        report.estimates.append(float(estimator(nfa, length, base_seed + index)))
+    return report
+
+
+def compare_estimators(
+    nfa: NFA,
+    length: int,
+    estimators: Sequence[tuple],
+    epsilon: float,
+    trials: int = 5,
+    base_seed: int = 0,
+) -> List[AccuracyReport]:
+    """Evaluate several ``(name, estimator)`` pairs on the same instance."""
+    exact = count_exact(nfa, length)
+    return [
+        evaluate_accuracy(
+            name,
+            nfa,
+            length,
+            estimator,
+            epsilon,
+            trials=trials,
+            exact=exact,
+            base_seed=base_seed,
+        )
+        for name, estimator in estimators
+    ]

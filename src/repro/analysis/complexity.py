@@ -1,0 +1,131 @@
+"""Closed-form cost model of both FPRASes (the paper's complexity claims).
+
+Experiment E1 compares the *formulas* — this is exactly the comparison the
+paper itself makes, since neither paper reports measurements:
+
+* samples per (state, level): ACJR ``O((mn/eps)^7)`` vs this paper
+  ``Õ(n^4 / eps^2)`` (independent of ``m``);
+* total time: ACJR ``Õ(m^17 n^17 eps^-14 log(1/delta))`` vs
+  ``Õ((m^2 n^10 + m^3 n^6) eps^-4 log^2(1/delta))``.
+
+The helpers below evaluate the formulas over parameter sweeps and compute
+speedup ratios, which the benchmark harness prints alongside the measured
+runtimes of the scaled implementations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.counting.params import (
+    acjr_samples_per_state,
+    acjr_time_bound,
+    paper_samples_per_state,
+    paper_time_bound,
+)
+
+
+@dataclass(frozen=True)
+class ComplexityPoint:
+    """One row of a complexity comparison table."""
+
+    num_states: int
+    length: int
+    epsilon: float
+    delta: float
+    acjr_samples: float
+    paper_samples: float
+    acjr_time: float
+    paper_time: float
+
+    @property
+    def sample_ratio(self) -> float:
+        """How many times fewer samples per state the new scheme keeps."""
+        if self.paper_samples == 0:
+            return float("inf")
+        return self.acjr_samples / self.paper_samples
+
+    @property
+    def time_ratio(self) -> float:
+        """Theoretical speedup factor of the new scheme."""
+        if self.paper_time == 0:
+            return float("inf")
+        return self.acjr_time / self.paper_time
+
+    def as_row(self) -> dict:
+        return {
+            "m": self.num_states,
+            "n": self.length,
+            "epsilon": self.epsilon,
+            "acjr_samples_per_state": self.acjr_samples,
+            "paper_samples_per_state": self.paper_samples,
+            "sample_ratio": self.sample_ratio,
+            "acjr_time_bound": self.acjr_time,
+            "paper_time_bound": self.paper_time,
+            "time_ratio": self.time_ratio,
+        }
+
+
+def complexity_point(
+    num_states: int, length: int, epsilon: float, delta: float = 0.1
+) -> ComplexityPoint:
+    """Evaluate both papers' formulas at one parameter setting."""
+    return ComplexityPoint(
+        num_states=num_states,
+        length=length,
+        epsilon=epsilon,
+        delta=delta,
+        acjr_samples=acjr_samples_per_state(num_states, length, epsilon),
+        paper_samples=paper_samples_per_state(length, epsilon),
+        acjr_time=acjr_time_bound(num_states, length, epsilon, delta),
+        paper_time=paper_time_bound(num_states, length, epsilon, delta),
+    )
+
+
+def samples_per_state_table(
+    state_counts: Sequence[int],
+    lengths: Sequence[int],
+    epsilons: Sequence[float],
+    delta: float = 0.1,
+) -> List[ComplexityPoint]:
+    """The full cross-product sweep used by experiment E1."""
+    return [
+        complexity_point(m, n, eps, delta)
+        for m in state_counts
+        for n in lengths
+        for eps in epsilons
+    ]
+
+
+def compare_time_bounds(
+    state_counts: Sequence[int], length: int, epsilon: float, delta: float = 0.1
+) -> List[ComplexityPoint]:
+    """Time-bound comparison as ``m`` grows (fixed ``n`` and ``epsilon``)."""
+    return [complexity_point(m, length, epsilon, delta) for m in state_counts]
+
+
+def speedup_ratio(num_states: int, length: int, epsilon: float, delta: float = 0.1) -> float:
+    """Theoretical speedup of the new FPRAS over ACJR at one setting."""
+    return complexity_point(num_states, length, epsilon, delta).time_ratio
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x) — empirical growth order.
+
+    The scaling experiments (E3-E5) fit this to measured runtimes to check
+    that growth is polynomial of the expected low order rather than
+    exponential.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(max(y, 1e-12)) for y in ys]
+    mean_x = sum(log_x) / len(log_x)
+    mean_y = sum(log_y) / len(log_y)
+    numerator = sum((lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y))
+    denominator = sum((lx - mean_x) ** 2 for lx in log_x)
+    if denominator == 0:
+        raise ValueError("x values must not all be equal")
+    return numerator / denominator

@@ -1,0 +1,195 @@
+"""Statistical helpers: distances, concentration bounds, intervals.
+
+Total variation distance is the central metric of the paper's analysis
+(Inv-2 requires the stored sample multisets to be TV-close to i.i.d. uniform
+samples); the uniformity experiment (E7) measures it empirically on small
+languages where the uniform distribution can be enumerated exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class EmpiricalDistribution:
+    """An empirical distribution over hashable outcomes."""
+
+    counts: Mapping[Hashable, int]
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[Hashable]) -> "EmpiricalDistribution":
+        return cls(counts=dict(Counter(samples)))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def probability(self, outcome: Hashable) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.counts.get(outcome, 0) / total
+
+    def support(self) -> Tuple[Hashable, ...]:
+        return tuple(self.counts)
+
+    def as_probabilities(self) -> Dict[Hashable, float]:
+        total = self.total
+        if total == 0:
+            return {}
+        return {outcome: count / total for outcome, count in self.counts.items()}
+
+
+def total_variation_distance(
+    first: Mapping[Hashable, float], second: Mapping[Hashable, float]
+) -> float:
+    """TV distance between two distributions given as probability mappings.
+
+    Matches the paper's definition ``sum_w Pr[X=w] - min(Pr[X=w], Pr[Y=w])``
+    (equivalently half the L1 distance when both are normalised).
+    """
+    support = set(first) | set(second)
+    return 0.5 * sum(
+        abs(first.get(outcome, 0.0) - second.get(outcome, 0.0)) for outcome in support
+    )
+
+
+def empirical_tv_to_uniform(
+    samples: Sequence[Hashable], population: Sequence[Hashable]
+) -> float:
+    """TV distance between the empirical distribution of ``samples`` and uniform.
+
+    ``population`` is the full (small) support; elements of ``samples`` not in
+    the population contribute their full empirical mass to the distance.
+    """
+    if not population:
+        return 0.0 if not samples else 1.0
+    empirical = EmpiricalDistribution.from_samples(samples).as_probabilities()
+    uniform = {outcome: 1.0 / len(population) for outcome in population}
+    return total_variation_distance(empirical, uniform)
+
+
+@dataclass(frozen=True)
+class UniformityReport:
+    """Summary of how uniform a batch of sampled words is."""
+
+    sample_size: int
+    support_size: int
+    distinct_sampled: int
+    tv_distance: float
+    expected_tv_distance: float
+    max_probability_ratio: float
+
+    @property
+    def excess_tv(self) -> float:
+        """TV distance beyond what finite-sample noise alone would produce."""
+        return max(0.0, self.tv_distance - self.expected_tv_distance)
+
+
+def uniformity_report(
+    samples: Sequence[Hashable], population: Sequence[Hashable]
+) -> UniformityReport:
+    """Measure uniformity of ``samples`` against the known support.
+
+    ``expected_tv_distance`` is the usual ``~ 0.5 * sqrt(support / samples)``
+    estimate of the TV distance an *exactly uniform* sampler of the same
+    sample size would exhibit, so consumers can judge how much of the
+    measured distance is estimation noise.
+    """
+    population = list(population)
+    support_size = len(population)
+    sample_size = len(samples)
+    empirical = EmpiricalDistribution.from_samples(samples)
+    tv = empirical_tv_to_uniform(samples, population)
+    expected = (
+        0.5 * math.sqrt(support_size / sample_size) if sample_size and support_size else 0.0
+    )
+    expected = min(1.0, expected)
+    if support_size and sample_size:
+        uniform_probability = 1.0 / support_size
+        max_ratio = max(
+            (empirical.probability(outcome) / uniform_probability for outcome in population),
+            default=0.0,
+        )
+    else:
+        max_ratio = 0.0
+    return UniformityReport(
+        sample_size=sample_size,
+        support_size=support_size,
+        distinct_sampled=len(empirical.support()),
+        tv_distance=tv,
+        expected_tv_distance=expected,
+        max_probability_ratio=max_ratio,
+    )
+
+
+# ----------------------------------------------------------------------
+# Concentration helpers
+# ----------------------------------------------------------------------
+def chernoff_sample_size(epsilon: float, delta: float) -> int:
+    """Samples needed for a (multiplicative) ``(epsilon, delta)`` mean estimate.
+
+    The standard ``3 / epsilon^2 * ln(2 / delta)`` bound for [0, 1] variables
+    with mean bounded away from zero — the bound behind the paper's ``thresh``
+    and ``t`` formulas (up to constants).
+    """
+    if epsilon <= 0 or not 0 < delta < 1:
+        raise ValueError("epsilon must be positive and delta in (0, 1)")
+    return int(math.ceil(3.0 / (epsilon * epsilon) * math.log(2.0 / delta)))
+
+
+def hoeffding_bound(num_samples: int, deviation: float) -> float:
+    """Probability bound ``2 exp(-2 n t^2)`` for a mean of [0,1] variables."""
+    if num_samples <= 0 or deviation < 0:
+        raise ValueError("num_samples must be positive and deviation non-negative")
+    return min(1.0, 2.0 * math.exp(-2.0 * num_samples * deviation * deviation))
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """(mean, low, high) normal-approximation confidence interval."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    count = len(values)
+    mean = sum(values) / count
+    if count == 1:
+        return mean, mean, mean
+    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    # Two-sided z value via the inverse error function.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    half_width = z * math.sqrt(variance / count)
+    return mean, mean - half_width, mean + half_width
+
+
+def _erfinv(value: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-3 accuracy)."""
+    a = 0.147
+    sign = 1.0 if value >= 0 else -1.0
+    ln_term = math.log(1.0 - value * value)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return sign * math.sqrt(math.sqrt(first * first - ln_term / a) - first)
+
+
+def quantile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation quantile of a sequence (0 <= fraction <= 1)."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight

@@ -1,0 +1,42 @@
+"""Database applications of #NFA, as motivated by the paper's introduction.
+
+* :mod:`repro.applications.graphdb` — regular path queries over an
+  edge-labeled graph database; counting and sampling query answers reduces
+  linearly to #NFA via a product construction.
+* :mod:`repro.applications.pqe` — probabilistic query evaluation for
+  self-join-free path queries over tuple-independent probabilistic
+  databases; the query probability is recovered from a #NFA count over a
+  coin-word automaton.
+* :mod:`repro.applications.prob_graph` — probabilistic graph homomorphism
+  for path queries on layered probabilistic graphs (reduces to the PQE
+  machinery), with exact and Monte-Carlo references for general graphs.
+* :mod:`repro.applications.leakage` — quantitative information-flow style
+  estimation of the number of distinct observables, i.e. ``log2 #NFA``.
+"""
+
+from repro.applications.graphdb import GraphDatabase, RegularPathQuery, RPQCounter
+from repro.applications.pqe import (
+    PathQuery,
+    ProbabilisticDatabase,
+    PQEResult,
+    evaluate_path_query,
+)
+from repro.applications.prob_graph import (
+    LayeredProbabilisticGraph,
+    homomorphism_probability,
+)
+from repro.applications.leakage import LeakageEstimate, estimate_leakage_bits
+
+__all__ = [
+    "GraphDatabase",
+    "RegularPathQuery",
+    "RPQCounter",
+    "ProbabilisticDatabase",
+    "PathQuery",
+    "PQEResult",
+    "evaluate_path_query",
+    "LayeredProbabilisticGraph",
+    "homomorphism_probability",
+    "LeakageEstimate",
+    "estimate_leakage_bits",
+]

@@ -1,0 +1,52 @@
+"""Automata substrate: NFAs, DFAs, regexes, unrolling and exact counting.
+
+This subpackage provides every automaton-level building block the FPRAS of
+Meel, Chakraborty and Mathur (PODS 2024) relies on:
+
+* :class:`~repro.automata.nfa.NFA` — the input model of the #NFA problem;
+* :class:`~repro.automata.dfa.DFA` — determinised automata used by exact
+  counters and by baselines;
+* :mod:`~repro.automata.regex` — a regular-expression front end compiling to
+  epsilon-free NFAs (Thompson construction followed by epsilon elimination);
+* :class:`~repro.automata.unroll.UnrolledAutomaton` — the layered acyclic
+  "unrolling" the FPRAS operates on, together with membership oracles;
+* :mod:`~repro.automata.exact` — exact #NFA counting used as ground truth;
+* :mod:`~repro.automata.random_gen` / :mod:`~repro.automata.families` —
+  workload generators for the benchmark harness.
+"""
+
+from repro.automata.nfa import NFA, Word, word_from_string, word_to_string
+from repro.automata.dfa import DFA, determinize, minimize
+from repro.automata.unroll import UnrolledAutomaton
+from repro.automata.regex import compile_regex, parse_regex
+from repro.automata.exact import (
+    ExactCounter,
+    count_exact,
+    count_per_state_exact,
+    enumerate_slice,
+)
+from repro.automata import operations
+from repro.automata import random_gen
+from repro.automata import families
+from repro.automata import serialization
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "Word",
+    "word_from_string",
+    "word_to_string",
+    "determinize",
+    "minimize",
+    "UnrolledAutomaton",
+    "compile_regex",
+    "parse_regex",
+    "ExactCounter",
+    "count_exact",
+    "count_per_state_exact",
+    "enumerate_slice",
+    "operations",
+    "random_gen",
+    "families",
+    "serialization",
+]

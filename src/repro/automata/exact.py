@@ -1,0 +1,181 @@
+"""Exact #NFA counting — ground truth for the approximation experiments.
+
+Exact counting of ``|L(A_n)|`` is #P-hard in general, but for the automaton
+sizes used in tests and benchmarks it is feasible via the *reachable-subset
+dynamic program*: group words of each length by the exact set of NFA states
+they reach.  Two words reaching the same subset have identical futures, so a
+dictionary from subsets to exact word counts is a lossless compression of the
+whole slice.  The number of keys is bounded by the number of reachable
+determinised subsets, which is small for the structured families used here
+even when the slice itself is astronomically large.
+
+Provided counters:
+
+* :func:`count_exact` — ``|L(A_n)|``;
+* :func:`count_per_state_exact` — ``|L(q^l)|`` for every state/level, the
+  quantities the FPRAS estimates as ``N(q^l)`` (used to validate Inv-1);
+* :func:`count_exact_via_dfa` — determinise then run the DFA transfer-matrix
+  count (cross-check for the subset DP);
+* :func:`enumerate_slice` — explicit enumeration for tiny instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.automata.dfa import determinize
+from repro.automata.nfa import NFA, State, Word
+
+
+SubsetCounts = Dict[FrozenSet[State], int]
+
+
+@dataclass
+class ExactCounter:
+    """Incremental exact counter over the unrolled levels of an NFA.
+
+    The counter advances one level at a time and exposes, at level ``l``:
+
+    * ``slice_count()`` — ``|L(A_l)|``;
+    * ``state_count(q)`` — ``|L(q^l)|``;
+    * ``union_count(P)`` — ``|⋃_{q in P} L(q^l)|`` (the quantity AppUnion
+      approximates), all exactly.
+
+    Keeping the per-level subset table around makes validating the FPRAS's
+    internal invariants cheap.
+    """
+
+    nfa: NFA
+
+    def __post_init__(self) -> None:
+        self.level = 0
+        self._counts: SubsetCounts = {frozenset({self.nfa.initial}): 1}
+        self._history: List[SubsetCounts] = [dict(self._counts)]
+
+    # ------------------------------------------------------------------
+    # Advancing
+    # ------------------------------------------------------------------
+    def advance(self) -> None:
+        """Move from level ``l`` to level ``l + 1``."""
+        next_counts: SubsetCounts = {}
+        for subset, count in self._counts.items():
+            for symbol in self.nfa.alphabet:
+                image = self.nfa.step(subset, symbol)
+                if not image:
+                    continue
+                next_counts[image] = next_counts.get(image, 0) + count
+        self._counts = next_counts
+        self._history.append(dict(next_counts))
+        self.level += 1
+
+    def advance_to(self, level: int) -> None:
+        """Advance until the internal level equals ``level``."""
+        if level < self.level:
+            raise ValueError("ExactCounter cannot rewind; build a fresh instance")
+        while self.level < level:
+            self.advance()
+
+    # ------------------------------------------------------------------
+    # Queries at a given level
+    # ------------------------------------------------------------------
+    def _table(self, level: Optional[int]) -> SubsetCounts:
+        if level is None:
+            return self._counts
+        if not 0 <= level <= self.level:
+            raise ValueError(
+                f"level {level} not yet computed (current level {self.level})"
+            )
+        return self._history[level]
+
+    def slice_count(self, level: Optional[int] = None) -> int:
+        """``|L(A_level)|`` (defaults to the current level)."""
+        table = self._table(level)
+        return sum(
+            count for subset, count in table.items() if subset & self.nfa.accepting
+        )
+
+    def state_count(self, state: State, level: Optional[int] = None) -> int:
+        """``|L(state^level)|``: words whose reachable set contains ``state``."""
+        table = self._table(level)
+        return sum(count for subset, count in table.items() if state in subset)
+
+    def union_count(self, states: Iterable[State], level: Optional[int] = None) -> int:
+        """``|⋃_{q in states} L(q^level)|``."""
+        table = self._table(level)
+        wanted = set(states)
+        return sum(
+            count for subset, count in table.items() if subset & wanted
+        )
+
+    def subset_table(self, level: Optional[int] = None) -> Mapping[FrozenSet[State], int]:
+        """The raw subset -> exact-count table (read-only view for tests)."""
+        return dict(self._table(level))
+
+    def num_subsets(self, level: Optional[int] = None) -> int:
+        """Number of distinct reachable subsets at the level (cost indicator)."""
+        return len(self._table(level))
+
+
+def count_exact(nfa: NFA, length: int) -> int:
+    """Exact ``|L(A_length)|`` via the reachable-subset dynamic program."""
+    counter = ExactCounter(nfa)
+    counter.advance_to(length)
+    return counter.slice_count()
+
+
+def count_per_state_exact(nfa: NFA, length: int) -> Dict[Tuple[State, int], int]:
+    """Exact ``|L(q^l)|`` for every state ``q`` and level ``0 <= l <= length``.
+
+    Returns a dictionary keyed by ``(state, level)``.  This is the exact
+    counterpart of the estimates ``N(q^l)`` maintained by Algorithm 3 and is
+    used by tests and by experiment E2/E7 to check Inv-1 level by level.
+    """
+    counter = ExactCounter(nfa)
+    result: Dict[Tuple[State, int], int] = {}
+    for level in range(length + 1):
+        counter.advance_to(level)
+        for state in nfa.states:
+            result[(state, level)] = counter.state_count(state, level)
+    return result
+
+
+def count_exact_via_dfa(nfa: NFA, length: int) -> int:
+    """Exact ``|L(A_length)|`` by determinising and counting DFA paths.
+
+    Algebraically identical to :func:`count_exact`; kept as an independent
+    implementation so the two can cross-check each other in tests.
+    """
+    return determinize(nfa).count_slice(length)
+
+
+def enumerate_slice(nfa: NFA, length: int) -> List[Word]:
+    """Materialise ``L(A_length)`` (tiny instances only)."""
+    return nfa.language_slice(length)
+
+
+def slice_profile(nfa: NFA, length: int) -> List[int]:
+    """The sequence ``[|L(A_0)|, |L(A_1)|, ..., |L(A_length)|]``.
+
+    Useful for workload characterisation in the harness (density / growth of
+    the language across lengths).
+    """
+    counter = ExactCounter(nfa)
+    profile = [counter.slice_count()]
+    for _ in range(length):
+        counter.advance()
+        profile.append(counter.slice_count())
+    return profile
+
+
+def language_density(nfa: NFA, length: int) -> float:
+    """``|L(A_length)| / |alphabet|^length`` — how dense the slice is.
+
+    Naive Monte-Carlo estimation works well only when the density is not too
+    small; this helper lets experiments report the regime each workload
+    falls into.
+    """
+    total = len(nfa.alphabet) ** length
+    if total == 0:
+        return 0.0
+    return count_exact(nfa, length) / total

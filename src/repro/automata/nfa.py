@@ -1,0 +1,548 @@
+"""Non-deterministic finite automata.
+
+The :class:`NFA` class is the input model of the #NFA problem studied in the
+paper: a tuple ``(Q, I, Delta, F)`` over a finite alphabet (binary by
+default).  Words are represented as tuples of symbols so that arbitrary edge
+labels (e.g. graph-database labels) can be used; helper functions convert to
+and from plain strings for the common single-character-symbol case.
+
+The class is deliberately immutable after construction: the FPRAS, the exact
+counters and the unrolled automaton all cache derived structure (predecessor
+maps, reachable sets) and immutability keeps those caches trivially correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import AutomatonError, InvalidTransitionError
+
+State = Hashable
+Symbol = str
+Word = Tuple[Symbol, ...]
+Transition = Tuple[State, Symbol, State]
+
+BINARY_ALPHABET: Tuple[Symbol, ...] = ("0", "1")
+
+EMPTY_WORD: Word = ()
+
+
+def word_from_string(text: str) -> Word:
+    """Convert a plain string into a word (tuple of one-character symbols).
+
+    >>> word_from_string("0110")
+    ('0', '1', '1', '0')
+    """
+    return tuple(text)
+
+
+def word_to_string(word: Word) -> str:
+    """Convert a word back into a plain string by concatenating its symbols."""
+    return "".join(word)
+
+
+def as_word(value: "str | Sequence[Symbol]") -> Word:
+    """Coerce a string or a sequence of symbols into the canonical word form."""
+    if isinstance(value, str):
+        return word_from_string(value)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class NFA:
+    """An epsilon-free non-deterministic finite automaton.
+
+    Parameters
+    ----------
+    states:
+        The finite set of states ``Q``.
+    initial:
+        The unique initial state ``I``; must belong to ``states``.
+    transitions:
+        The transition relation ``Delta`` as an iterable of
+        ``(source, symbol, target)`` triples.
+    accepting:
+        The set of accepting states ``F``.
+    alphabet:
+        The input alphabet.  Defaults to the binary alphabet used throughout
+        the paper; any fixed finite alphabet is supported (the paper notes
+        the results carry over verbatim).
+
+    Notes
+    -----
+    ``NFA`` instances are immutable and hashable on identity of their
+    structural content, which lets downstream components cache derived data
+    keyed by the automaton.
+    """
+
+    states: FrozenSet[State]
+    initial: State
+    transitions: FrozenSet[Transition]
+    accepting: FrozenSet[State]
+    alphabet: Tuple[Symbol, ...] = BINARY_ALPHABET
+
+    # Derived maps are computed lazily and memoised in these private slots.
+    _successor_map: Dict[Tuple[State, Symbol], FrozenSet[State]] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+    _predecessor_map: Dict[Tuple[State, Symbol], FrozenSet[State]] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "states", frozenset(self.states))
+        object.__setattr__(self, "transitions", frozenset(self.transitions))
+        object.__setattr__(self, "accepting", frozenset(self.accepting))
+        object.__setattr__(self, "alphabet", tuple(self.alphabet))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.states:
+            raise AutomatonError("an NFA must have at least one state")
+        if self.initial not in self.states:
+            raise AutomatonError(f"initial state {self.initial!r} is not a state")
+        unknown_accepting = self.accepting - self.states
+        if unknown_accepting:
+            raise AutomatonError(
+                f"accepting states {sorted(map(repr, unknown_accepting))} are not states"
+            )
+        if len(set(self.alphabet)) != len(self.alphabet):
+            raise AutomatonError("alphabet contains duplicate symbols")
+        if not self.alphabet:
+            raise AutomatonError("alphabet must be non-empty")
+        alphabet = set(self.alphabet)
+        for source, symbol, target in self.transitions:
+            if source not in self.states or target not in self.states:
+                raise InvalidTransitionError(
+                    f"transition ({source!r}, {symbol!r}, {target!r}) references unknown states"
+                )
+            if symbol not in alphabet:
+                raise InvalidTransitionError(
+                    f"transition symbol {symbol!r} is not in the alphabet {self.alphabet}"
+                )
+
+    @classmethod
+    def build(
+        cls,
+        transitions: Iterable[Transition],
+        initial: State,
+        accepting: Iterable[State],
+        states: Optional[Iterable[State]] = None,
+        alphabet: Optional[Sequence[Symbol]] = None,
+    ) -> "NFA":
+        """Build an NFA, inferring the state set and alphabet when omitted.
+
+        This is the most convenient constructor for hand-written automata and
+        for reductions: states and symbols mentioned in ``transitions`` are
+        collected automatically.
+        """
+        transition_list = [(s, str(a), t) for (s, a, t) in transitions]
+        inferred_states: Set[State] = {initial}
+        inferred_states.update(accepting)
+        inferred_symbols: Set[Symbol] = set()
+        for source, symbol, target in transition_list:
+            inferred_states.add(source)
+            inferred_states.add(target)
+            inferred_symbols.add(symbol)
+        if states is not None:
+            inferred_states.update(states)
+        if alphabet is None:
+            alphabet_seq: Tuple[Symbol, ...] = (
+                tuple(sorted(inferred_symbols)) if inferred_symbols else BINARY_ALPHABET
+            )
+        else:
+            alphabet_seq = tuple(alphabet)
+        return cls(
+            states=frozenset(inferred_states),
+            initial=initial,
+            transitions=frozenset(transition_list),
+            accepting=frozenset(accepting),
+            alphabet=alphabet_seq,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states ``m`` — the size parameter used in the paper."""
+        return len(self.states)
+
+    @property
+    def num_transitions(self) -> int:
+        """Number of transitions in ``Delta``."""
+        return len(self.transitions)
+
+    def successors(self, state: State, symbol: Symbol) -> FrozenSet[State]:
+        """States reachable from ``state`` on one ``symbol`` transition."""
+        key = (state, symbol)
+        cached = self._successor_map.get(key)
+        if cached is None:
+            self._build_maps()
+            cached = self._successor_map.get(key, frozenset())
+            self._successor_map[key] = cached
+        return cached
+
+    def predecessors(self, state: State, symbol: Symbol) -> FrozenSet[State]:
+        """The paper's ``Pred(q, b)``: states ``p`` with ``(p, b, q)`` in Delta."""
+        key = (state, symbol)
+        cached = self._predecessor_map.get(key)
+        if cached is None:
+            self._build_maps()
+            cached = self._predecessor_map.get(key, frozenset())
+            self._predecessor_map[key] = cached
+        return cached
+
+    def _build_maps(self) -> None:
+        if self._successor_map and self._predecessor_map:
+            return
+        successors: Dict[Tuple[State, Symbol], Set[State]] = {}
+        predecessors: Dict[Tuple[State, Symbol], Set[State]] = {}
+        for source, symbol, target in self.transitions:
+            successors.setdefault((source, symbol), set()).add(target)
+            predecessors.setdefault((target, symbol), set()).add(source)
+        self._successor_map.update(
+            {key: frozenset(value) for key, value in successors.items()}
+        )
+        self._predecessor_map.update(
+            {key: frozenset(value) for key, value in predecessors.items()}
+        )
+
+    def step(self, current: Iterable[State], symbol: Symbol) -> FrozenSet[State]:
+        """One simulation step: image of a state set under ``symbol``."""
+        result: Set[State] = set()
+        for state in current:
+            result.update(self.successors(state, symbol))
+        return frozenset(result)
+
+    def reachable_states(self, word: "str | Word") -> FrozenSet[State]:
+        """Set of states reachable from the initial state on ``word``.
+
+        This is the membership oracle primitive used by the FPRAS: a word
+        ``w`` belongs to ``L(q^|w|)`` iff ``q in reachable_states(w)``.
+        """
+        current: FrozenSet[State] = frozenset({self.initial})
+        for symbol in as_word(word):
+            current = self.step(current, symbol)
+            if not current:
+                return current
+        return current
+
+    def accepts(self, word: "str | Word") -> bool:
+        """Whether ``word`` is accepted (some run ends in an accepting state)."""
+        return bool(self.reachable_states(word) & self.accepting)
+
+    def run_prefixes(self, word: "str | Word") -> List[FrozenSet[State]]:
+        """Reachable state sets after every prefix of ``word`` (length+1 entries)."""
+        current: FrozenSet[State] = frozenset({self.initial})
+        trace = [current]
+        for symbol in as_word(word):
+            current = self.step(current, symbol)
+            trace.append(current)
+        return trace
+
+    # ------------------------------------------------------------------
+    # Reachability and trimming
+    # ------------------------------------------------------------------
+    def forward_reachable(self) -> FrozenSet[State]:
+        """States reachable from the initial state (ignoring word lengths)."""
+        seen: Set[State] = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for symbol in self.alphabet:
+                for target in self.successors(state, symbol):
+                    if target not in seen:
+                        seen.add(target)
+                        frontier.append(target)
+        return frozenset(seen)
+
+    def backward_reachable(self) -> FrozenSet[State]:
+        """States from which some accepting state is reachable."""
+        seen: Set[State] = set(self.accepting)
+        frontier = list(self.accepting)
+        while frontier:
+            state = frontier.pop()
+            for symbol in self.alphabet:
+                for source in self.predecessors(state, symbol):
+                    if source not in seen:
+                        seen.add(source)
+                        frontier.append(source)
+        return frozenset(seen)
+
+    def trim(self) -> "NFA":
+        """Remove states that are unreachable or cannot reach acceptance.
+
+        The initial state is always retained so the result is a valid NFA
+        even when the language is empty.
+        """
+        useful = self.forward_reachable() & self.backward_reachable()
+        keep = set(useful) | {self.initial}
+        transitions = frozenset(
+            (s, a, t) for (s, a, t) in self.transitions if s in keep and t in keep
+        )
+        return NFA(
+            states=frozenset(keep),
+            initial=self.initial,
+            transitions=transitions,
+            accepting=self.accepting & frozenset(keep),
+            alphabet=self.alphabet,
+        )
+
+    def prune_unreachable(self) -> "NFA":
+        """Remove states not reachable from the initial state.
+
+        The FPRAS template assumes every state of the unrolled automaton is
+        reachable; pruning at the NFA level keeps the per-level state count
+        (and therefore the work) as small as possible.
+        """
+        reachable = self.forward_reachable()
+        transitions = frozenset(
+            (s, a, t)
+            for (s, a, t) in self.transitions
+            if s in reachable and t in reachable
+        )
+        return NFA(
+            states=reachable,
+            initial=self.initial,
+            transitions=transitions,
+            accepting=self.accepting & reachable,
+            alphabet=self.alphabet,
+        )
+
+    # ------------------------------------------------------------------
+    # Structural transformations
+    # ------------------------------------------------------------------
+    def normalized_single_accepting(self) -> "NFA":
+        """Return an equivalent NFA with (at most) one accepting sink state.
+
+        The paper assumes a single accepting state without loss of
+        generality.  The construction adds a fresh state ``f`` and, for every
+        transition entering an accepting state, adds a parallel transition
+        into ``f``.  The empty word requires care: if the initial state was
+        accepting, the initial state of the result remains accepting as well,
+        so ``L(A'_n) = L(A_n)`` for every ``n`` (including ``n = 0``).
+        """
+        if len(self.accepting) <= 1 and (
+            not self.accepting or self.initial not in self.accepting
+        ):
+            return self
+        sink = _fresh_state(self.states, "accept")
+        new_transitions: Set[Transition] = set(self.transitions)
+        for source, symbol, target in self.transitions:
+            if target in self.accepting:
+                new_transitions.add((source, symbol, sink))
+        new_accepting: Set[State] = {sink}
+        if self.initial in self.accepting:
+            new_accepting.add(self.initial)
+        return NFA(
+            states=self.states | {sink},
+            initial=self.initial,
+            transitions=frozenset(new_transitions),
+            accepting=frozenset(new_accepting),
+            alphabet=self.alphabet,
+        )
+
+    def reverse(self) -> "NFA":
+        """The reverse automaton (accepting the mirror images of words).
+
+        Reversal turns the multiple-initial-state automaton into an NFA with
+        a fresh initial state connected by copying outgoing transitions of
+        the original accepting states; language slices are mirrored:
+        ``|L(rev(A)_n)| == |L(A_n)|`` for every ``n``.
+        """
+        fresh_initial = _fresh_state(self.states, "rev_init")
+        reversed_transitions: Set[Transition] = set()
+        for source, symbol, target in self.transitions:
+            reversed_transitions.add((target, symbol, source))
+        for source, symbol, target in self.transitions:
+            if target in self.accepting:
+                reversed_transitions.add((fresh_initial, symbol, source))
+        accepting: Set[State] = {self.initial}
+        if self.initial in self.accepting:
+            # The empty word is accepted by the original automaton, so the
+            # reverse must accept it too: make the fresh initial accepting.
+            accepting.add(fresh_initial)
+        return NFA(
+            states=self.states | {fresh_initial},
+            initial=fresh_initial,
+            transitions=frozenset(reversed_transitions),
+            accepting=frozenset(accepting),
+            alphabet=self.alphabet,
+        )
+
+    def relabeled(self, prefix: str = "q") -> "NFA":
+        """Return an isomorphic NFA whose states are ``prefix0..prefixK``.
+
+        Useful before product constructions and for deterministic reporting
+        (stable state names regardless of how the automaton was produced).
+        """
+        ordered = sorted(self.states, key=repr)
+        mapping: Dict[State, str] = {
+            state: f"{prefix}{index}" for index, state in enumerate(ordered)
+        }
+        return NFA(
+            states=frozenset(mapping.values()),
+            initial=mapping[self.initial],
+            transitions=frozenset(
+                (mapping[s], a, mapping[t]) for (s, a, t) in self.transitions
+            ),
+            accepting=frozenset(mapping[state] for state in self.accepting),
+            alphabet=self.alphabet,
+        )
+
+    # ------------------------------------------------------------------
+    # Language utilities (small-scale; exact counting lives in exact.py)
+    # ------------------------------------------------------------------
+    def iter_slice(self, length: int) -> Iterator[Word]:
+        """Enumerate ``L(A_length)`` by breadth-first expansion.
+
+        Only intended for small lengths / alphabets (testing and ground
+        truth); the number of produced words can be exponential in
+        ``length``.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        frontier: Dict[FrozenSet[State], List[Word]] = {
+            frozenset({self.initial}): [EMPTY_WORD]
+        }
+        for _ in range(length):
+            next_frontier: Dict[FrozenSet[State], List[Word]] = {}
+            for states, words in frontier.items():
+                for symbol in self.alphabet:
+                    image = self.step(states, symbol)
+                    if not image:
+                        continue
+                    bucket = next_frontier.setdefault(image, [])
+                    bucket.extend(word + (symbol,) for word in words)
+            frontier = next_frontier
+        for states, words in frontier.items():
+            if states & self.accepting:
+                yield from words
+
+    def language_slice(self, length: int) -> List[Word]:
+        """Materialise ``L(A_length)`` as a sorted list of words."""
+        return sorted(set(self.iter_slice(length)))
+
+    def is_empty_slice(self, length: int) -> bool:
+        """Whether no word of exactly ``length`` symbols is accepted.
+
+        Decided in polynomial time by the standard layered reachability
+        check, mirroring the observation in the paper's introduction that
+        emptiness of ``L(A_n)`` is easy even though counting is #P-hard.
+        """
+        current: FrozenSet[State] = frozenset({self.initial})
+        for _ in range(length):
+            next_states: Set[State] = set()
+            for state in current:
+                for symbol in self.alphabet:
+                    next_states.update(self.successors(state, symbol))
+            current = frozenset(next_states)
+            if not current:
+                return True
+        return not (current & self.accepting)
+
+    def shortest_accepted_length(self, limit: int) -> Optional[int]:
+        """Smallest ``n <= limit`` with a non-empty slice, or ``None``."""
+        for length in range(limit + 1):
+            if not self.is_empty_slice(length):
+                return length
+        return None
+
+    def some_word_of_length(self, length: int) -> Optional[Word]:
+        """Return one accepted word of exactly ``length`` symbols, if any.
+
+        Used by the FPRAS padding step (Algorithm 3, lines 27-30) which
+        needs a fixed witness word from ``L(q^l)``.  Runs a backward dynamic
+        program over the unrolled levels, so its cost is polynomial even when
+        the slice itself is huge.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        # layers[i] = states reachable by some word of length exactly i.
+        layers: List[FrozenSet[State]] = [frozenset({self.initial})]
+        for _ in range(length):
+            next_states: Set[State] = set()
+            for state in layers[-1]:
+                for symbol in self.alphabet:
+                    next_states.update(self.successors(state, symbol))
+            layers.append(frozenset(next_states))
+        goal = layers[length] & self.accepting
+        if not goal:
+            return None
+        # Walk backwards choosing any predecessor present in the earlier layer.
+        target = next(iter(sorted(goal, key=repr)))
+        suffix: List[Symbol] = []
+        for level in range(length, 0, -1):
+            found = False
+            for symbol in self.alphabet:
+                for source in self.predecessors(target, symbol):
+                    if source in layers[level - 1]:
+                        suffix.append(symbol)
+                        target = source
+                        found = True
+                        break
+                if found:
+                    break
+            if not found:  # pragma: no cover - layers guarantee a predecessor
+                return None
+        suffix.reverse()
+        return tuple(suffix)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __hash__(self) -> int:
+        return hash((self.states, self.initial, self.transitions, self.accepting, self.alphabet))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NFA):
+            return NotImplemented
+        return (
+            self.states == other.states
+            and self.initial == other.initial
+            and self.transitions == other.transitions
+            and self.accepting == other.accepting
+            and self.alphabet == other.alphabet
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NFA(states={self.num_states}, transitions={self.num_transitions}, "
+            f"accepting={len(self.accepting)}, alphabet={self.alphabet!r})"
+        )
+
+    def describe(self) -> Mapping[str, object]:
+        """A small summary dictionary used by the harness for reporting."""
+        return {
+            "states": self.num_states,
+            "transitions": self.num_transitions,
+            "accepting": len(self.accepting),
+            "alphabet_size": len(self.alphabet),
+        }
+
+
+def _fresh_state(existing: FrozenSet[State], base: str) -> State:
+    """Return a state label not present in ``existing`` derived from ``base``."""
+    if base not in existing:
+        return base
+    index = 0
+    while f"{base}_{index}" in existing:
+        index += 1
+    return f"{base}_{index}"

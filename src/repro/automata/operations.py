@@ -1,0 +1,179 @@
+"""Language-level operations on NFAs.
+
+The database reductions in :mod:`repro.applications` are built from two
+constructions the paper mentions explicitly:
+
+* the *product* (intersection) of the database automaton with the compiled
+  query automaton — the regular-path-query reduction;
+* the *union* of several automata — used when a query has several sources or
+  when probabilistic-database rows contribute alternative branches.
+
+All constructions here are length-preserving and epsilon-free so their output
+feeds straight into the FPRAS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.automata.nfa import NFA, State, Symbol, Transition
+from repro.errors import AutomatonError
+
+
+def intersection(left: NFA, right: NFA) -> NFA:
+    """The product automaton accepting ``L(left) ∩ L(right)``.
+
+    States are pairs; only pairs reachable from the pair of initial states
+    are materialised, so the size is at most ``|left| * |right|`` but usually
+    far smaller.  Both automata must share an alphabet (the common case after
+    compiling a regex over the database's edge labels); symbols outside the
+    shared alphabet simply never fire.
+    """
+    alphabet = tuple(symbol for symbol in left.alphabet if symbol in set(right.alphabet))
+    if not alphabet:
+        raise AutomatonError("product of automata with disjoint alphabets is empty")
+    initial = (left.initial, right.initial)
+    states: Set[Tuple[State, State]] = {initial}
+    transitions: Set[Transition] = set()
+    frontier: List[Tuple[State, State]] = [initial]
+    while frontier:
+        pair = frontier.pop()
+        left_state, right_state = pair
+        for symbol in alphabet:
+            for left_target in left.successors(left_state, symbol):
+                for right_target in right.successors(right_state, symbol):
+                    target = (left_target, right_target)
+                    transitions.add((pair, symbol, target))
+                    if target not in states:
+                        states.add(target)
+                        frontier.append(target)
+    accepting = frozenset(
+        pair for pair in states if pair[0] in left.accepting and pair[1] in right.accepting
+    )
+    return NFA(
+        states=frozenset(states),
+        initial=initial,
+        transitions=frozenset(transitions),
+        accepting=accepting,
+        alphabet=alphabet,
+    )
+
+
+def union(automata: Sequence[NFA]) -> NFA:
+    """An NFA accepting the union of the given languages.
+
+    Uses the standard epsilon-free construction: a fresh initial state copies
+    the outgoing transitions of every component initial state; it is
+    accepting iff some component accepts the empty word.  Component states
+    are tagged with their index to keep them disjoint.
+    """
+    if not automata:
+        raise AutomatonError("union of zero automata is undefined")
+    alphabet: Tuple[Symbol, ...] = tuple(
+        dict.fromkeys(symbol for nfa in automata for symbol in nfa.alphabet)
+    )
+    fresh_initial: State = ("union", "init")
+    states: Set[State] = {fresh_initial}
+    transitions: Set[Transition] = set()
+    accepting: Set[State] = set()
+    accepts_empty = False
+    for index, nfa in enumerate(automata):
+        for state in nfa.states:
+            states.add((index, state))
+        for source, symbol, target in nfa.transitions:
+            transitions.add(((index, source), symbol, (index, target)))
+            if source == nfa.initial:
+                transitions.add((fresh_initial, symbol, (index, target)))
+        for state in nfa.accepting:
+            accepting.add((index, state))
+        if nfa.initial in nfa.accepting:
+            accepts_empty = True
+    if accepts_empty:
+        accepting.add(fresh_initial)
+    return NFA(
+        states=frozenset(states),
+        initial=fresh_initial,
+        transitions=frozenset(transitions),
+        accepting=frozenset(accepting),
+        alphabet=alphabet,
+    )
+
+
+def disjoint_union_states(automata: Sequence[NFA]) -> List[NFA]:
+    """Relabel automata so their state sets are pairwise disjoint."""
+    return [nfa.relabeled(prefix=f"a{index}_") for index, nfa in enumerate(automata)]
+
+
+def concatenation(left: NFA, right: NFA) -> NFA:
+    """An NFA accepting ``L(left) · L(right)`` (epsilon-free construction).
+
+    For every transition of ``right`` leaving its initial state and every
+    accepting state of ``left`` we add a bridging transition; the result
+    accepts a word iff it splits into an accepted prefix and suffix.  If
+    ``right`` accepts the empty word, accepting states of ``left`` remain
+    accepting.
+    """
+    left_tagged = left.relabeled(prefix="l_")
+    right_tagged = right.relabeled(prefix="r_")
+    alphabet = tuple(dict.fromkeys(left.alphabet + right.alphabet))
+    transitions: Set[Transition] = set(left_tagged.transitions) | set(
+        right_tagged.transitions
+    )
+    for source, symbol, target in right_tagged.transitions:
+        if source == right_tagged.initial:
+            for accept in left_tagged.accepting:
+                transitions.add((accept, symbol, target))
+    accepting: Set[State] = set(right_tagged.accepting)
+    if right_tagged.initial in right_tagged.accepting:
+        accepting.update(left_tagged.accepting)
+    states = set(left_tagged.states) | set(right_tagged.states)
+    initial = left_tagged.initial
+    if left_tagged.initial in left_tagged.accepting and right_tagged.initial in right_tagged.accepting:
+        accepting.add(initial)
+    result = NFA(
+        states=frozenset(states),
+        initial=initial,
+        transitions=frozenset(transitions),
+        accepting=frozenset(accepting),
+        alphabet=alphabet,
+    )
+    return result.prune_unreachable()
+
+
+def restrict_alphabet(nfa: NFA, alphabet: Sequence[Symbol]) -> NFA:
+    """Drop transitions whose symbol is outside ``alphabet``."""
+    allowed = set(alphabet)
+    return NFA(
+        states=nfa.states,
+        initial=nfa.initial,
+        transitions=frozenset(
+            (source, symbol, target)
+            for (source, symbol, target) in nfa.transitions
+            if symbol in allowed
+        ),
+        accepting=nfa.accepting,
+        alphabet=tuple(alphabet),
+    )
+
+
+def relabel_symbols(nfa: NFA, mapping: Dict[Symbol, Symbol]) -> NFA:
+    """Apply a symbol renaming (a letter-to-letter homomorphism) to the NFA.
+
+    The mapping must be injective on the alphabet actually used, otherwise
+    distinct words could collapse and slice counts would change.
+    """
+    used = {symbol for (_s, symbol, _t) in nfa.transitions}
+    images = [mapping.get(symbol, symbol) for symbol in used]
+    if len(set(images)) != len(images):
+        raise AutomatonError("symbol relabeling must be injective on used symbols")
+    new_alphabet = tuple(dict.fromkeys(mapping.get(symbol, symbol) for symbol in nfa.alphabet))
+    return NFA(
+        states=nfa.states,
+        initial=nfa.initial,
+        transitions=frozenset(
+            (source, mapping.get(symbol, symbol), target)
+            for (source, symbol, target) in nfa.transitions
+        ),
+        accepting=nfa.accepting,
+        alphabet=new_alphabet,
+    )

@@ -1,0 +1,423 @@
+"""Regular-expression front end.
+
+Regular path queries (the database application motivating the paper) are
+written as regular expressions over edge labels.  This module provides a
+small, dependency-free regex engine:
+
+* :func:`parse_regex` — recursive-descent parser producing an AST;
+* :func:`compile_regex` — Thompson construction to an epsilon-NFA followed by
+  epsilon elimination, yielding an epsilon-free :class:`~repro.automata.nfa.NFA`
+  directly usable by the FPRAS.
+
+Supported syntax: literals, ``.`` (any alphabet symbol), grouping ``()``,
+alternation ``|``, repetition ``*``, ``+``, ``?``, bounded repetition
+``{k}`` / ``{k,l}``, character classes ``[abc]``, escaping with ``\\`` and
+multi-character symbols written in angle brackets, e.g. ``<worksAt>`` —
+needed for graph-database edge labels, which are rarely single characters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.nfa import BINARY_ALPHABET, NFA, Symbol
+from repro.errors import RegexSyntaxError
+
+
+# ----------------------------------------------------------------------
+# Abstract syntax tree
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegexNode:
+    """Base class for regex AST nodes."""
+
+
+@dataclass(frozen=True)
+class Epsilon(RegexNode):
+    """Matches the empty word."""
+
+
+@dataclass(frozen=True)
+class Literal(RegexNode):
+    symbol: Symbol
+
+
+@dataclass(frozen=True)
+class AnySymbol(RegexNode):
+    """The ``.`` wildcard — matches any single symbol of the alphabet."""
+
+
+@dataclass(frozen=True)
+class SymbolClass(RegexNode):
+    """A character class ``[abc]`` — matches any listed symbol."""
+
+    symbols: Tuple[Symbol, ...]
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    parts: Tuple[RegexNode, ...]
+
+
+@dataclass(frozen=True)
+class Alternation(RegexNode):
+    options: Tuple[RegexNode, ...]
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    child: RegexNode
+
+
+@dataclass(frozen=True)
+class Plus(RegexNode):
+    child: RegexNode
+
+
+@dataclass(frozen=True)
+class Maybe(RegexNode):
+    child: RegexNode
+
+
+@dataclass(frozen=True)
+class Repeat(RegexNode):
+    """Bounded repetition ``child{low,high}`` (inclusive bounds)."""
+
+    child: RegexNode
+    low: int
+    high: int
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class _Parser:
+    """Recursive-descent parser over the pattern string."""
+
+    _SPECIAL = set("()|*+?{}[].\\<>")
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.position = 0
+
+    def parse(self) -> RegexNode:
+        node = self._alternation()
+        if self.position != len(self.pattern):
+            raise RegexSyntaxError(
+                f"unexpected character {self.pattern[self.position]!r} at "
+                f"position {self.position} in {self.pattern!r}"
+            )
+        return node
+
+    # Grammar: alternation := concat ('|' concat)*
+    def _alternation(self) -> RegexNode:
+        options = [self._concatenation()]
+        while self._peek() == "|":
+            self._advance()
+            options.append(self._concatenation())
+        if len(options) == 1:
+            return options[0]
+        return Alternation(tuple(options))
+
+    def _concatenation(self) -> RegexNode:
+        parts: List[RegexNode] = []
+        while True:
+            char = self._peek()
+            if char is None or char in ")|":
+                break
+            parts.append(self._repetition())
+        if not parts:
+            return Epsilon()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _repetition(self) -> RegexNode:
+        node = self._atom()
+        while True:
+            char = self._peek()
+            if char == "*":
+                self._advance()
+                node = Star(node)
+            elif char == "+":
+                self._advance()
+                node = Plus(node)
+            elif char == "?":
+                self._advance()
+                node = Maybe(node)
+            elif char == "{":
+                node = self._bounded(node)
+            else:
+                return node
+
+    def _bounded(self, node: RegexNode) -> RegexNode:
+        self._expect("{")
+        low = self._number()
+        high = low
+        if self._peek() == ",":
+            self._advance()
+            high = self._number()
+        self._expect("}")
+        if high < low:
+            raise RegexSyntaxError(f"invalid repetition bounds {{{low},{high}}}")
+        return Repeat(node, low, high)
+
+    def _atom(self) -> RegexNode:
+        char = self._peek()
+        if char is None:
+            raise RegexSyntaxError("unexpected end of pattern")
+        if char == "(":
+            self._advance()
+            node = self._alternation()
+            self._expect(")")
+            return node
+        if char == "[":
+            return self._symbol_class()
+        if char == "<":
+            return self._bracketed_symbol()
+        if char == ".":
+            self._advance()
+            return AnySymbol()
+        if char == "\\":
+            self._advance()
+            escaped = self._peek()
+            if escaped is None:
+                raise RegexSyntaxError("dangling escape at end of pattern")
+            self._advance()
+            return Literal(escaped)
+        if char in self._SPECIAL:
+            raise RegexSyntaxError(
+                f"unexpected metacharacter {char!r} at position {self.position}"
+            )
+        self._advance()
+        return Literal(char)
+
+    def _bracketed_symbol(self) -> RegexNode:
+        """A multi-character symbol ``<label>`` treated as one literal."""
+        self._expect("<")
+        name = ""
+        while True:
+            char = self._peek()
+            if char is None:
+                raise RegexSyntaxError("unterminated <...> symbol")
+            if char == ">":
+                break
+            name += char
+            self._advance()
+        self._expect(">")
+        if not name:
+            raise RegexSyntaxError("empty <...> symbol")
+        return Literal(name)
+
+    def _symbol_class(self) -> RegexNode:
+        self._expect("[")
+        symbols: List[Symbol] = []
+        while True:
+            char = self._peek()
+            if char is None:
+                raise RegexSyntaxError("unterminated character class")
+            if char == "]":
+                break
+            if char == "\\":
+                self._advance()
+                char = self._peek()
+                if char is None:
+                    raise RegexSyntaxError("dangling escape inside character class")
+            symbols.append(char)
+            self._advance()
+        self._expect("]")
+        if not symbols:
+            raise RegexSyntaxError("empty character class")
+        return SymbolClass(tuple(dict.fromkeys(symbols)))
+
+    def _number(self) -> int:
+        digits = ""
+        while self._peek() is not None and self._peek().isdigit():
+            digits += self.pattern[self.position]
+            self._advance()
+        if not digits:
+            raise RegexSyntaxError(f"expected a number at position {self.position}")
+        return int(digits)
+
+    def _peek(self) -> Optional[str]:
+        if self.position >= len(self.pattern):
+            return None
+        return self.pattern[self.position]
+
+    def _advance(self) -> None:
+        self.position += 1
+
+    def _expect(self, char: str) -> None:
+        if self._peek() != char:
+            raise RegexSyntaxError(
+                f"expected {char!r} at position {self.position} in {self.pattern!r}"
+            )
+        self._advance()
+
+
+def parse_regex(pattern: str) -> RegexNode:
+    """Parse ``pattern`` into a regex AST, raising :class:`RegexSyntaxError`."""
+    return _Parser(pattern).parse()
+
+
+# ----------------------------------------------------------------------
+# Thompson construction (epsilon-NFA) and epsilon elimination
+# ----------------------------------------------------------------------
+@dataclass
+class _EpsilonNFA:
+    """Intermediate epsilon-NFA used only during compilation."""
+
+    next_state: int = 0
+    symbol_edges: Dict[Tuple[int, Symbol], Set[int]] = field(default_factory=dict)
+    epsilon_edges: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def fresh(self) -> int:
+        state = self.next_state
+        self.next_state += 1
+        return state
+
+    def add_symbol_edge(self, source: int, symbol: Symbol, target: int) -> None:
+        self.symbol_edges.setdefault((source, symbol), set()).add(target)
+
+    def add_epsilon_edge(self, source: int, target: int) -> None:
+        self.epsilon_edges.setdefault(source, set()).add(target)
+
+    def epsilon_closure(self, states: Sequence[int]) -> FrozenSet[int]:
+        closure: Set[int] = set(states)
+        frontier = list(states)
+        while frontier:
+            state = frontier.pop()
+            for target in self.epsilon_edges.get(state, ()):
+                if target not in closure:
+                    closure.add(target)
+                    frontier.append(target)
+        return frozenset(closure)
+
+
+def _symbols_of(node: RegexNode, alphabet: Sequence[Symbol]) -> Tuple[Symbol, ...]:
+    if isinstance(node, AnySymbol):
+        return tuple(alphabet)
+    if isinstance(node, Literal):
+        return (node.symbol,)
+    if isinstance(node, SymbolClass):
+        return node.symbols
+    raise TypeError(f"not a symbol node: {node!r}")  # pragma: no cover
+
+
+def _build_fragment(
+    node: RegexNode, enfa: _EpsilonNFA, alphabet: Sequence[Symbol]
+) -> Tuple[int, int]:
+    """Return (entry, exit) states of a Thompson fragment for ``node``."""
+    if isinstance(node, Epsilon):
+        entry = enfa.fresh()
+        exit_ = enfa.fresh()
+        enfa.add_epsilon_edge(entry, exit_)
+        return entry, exit_
+    if isinstance(node, (Literal, AnySymbol, SymbolClass)):
+        entry = enfa.fresh()
+        exit_ = enfa.fresh()
+        for symbol in _symbols_of(node, alphabet):
+            enfa.add_symbol_edge(entry, symbol, exit_)
+        return entry, exit_
+    if isinstance(node, Concat):
+        entry, current_exit = _build_fragment(node.parts[0], enfa, alphabet)
+        for part in node.parts[1:]:
+            next_entry, next_exit = _build_fragment(part, enfa, alphabet)
+            enfa.add_epsilon_edge(current_exit, next_entry)
+            current_exit = next_exit
+        return entry, current_exit
+    if isinstance(node, Alternation):
+        entry = enfa.fresh()
+        exit_ = enfa.fresh()
+        for option in node.options:
+            sub_entry, sub_exit = _build_fragment(option, enfa, alphabet)
+            enfa.add_epsilon_edge(entry, sub_entry)
+            enfa.add_epsilon_edge(sub_exit, exit_)
+        return entry, exit_
+    if isinstance(node, Star):
+        entry = enfa.fresh()
+        exit_ = enfa.fresh()
+        sub_entry, sub_exit = _build_fragment(node.child, enfa, alphabet)
+        enfa.add_epsilon_edge(entry, exit_)
+        enfa.add_epsilon_edge(entry, sub_entry)
+        enfa.add_epsilon_edge(sub_exit, sub_entry)
+        enfa.add_epsilon_edge(sub_exit, exit_)
+        return entry, exit_
+    if isinstance(node, Plus):
+        return _build_fragment(Concat((node.child, Star(node.child))), enfa, alphabet)
+    if isinstance(node, Maybe):
+        return _build_fragment(Alternation((node.child, Epsilon())), enfa, alphabet)
+    if isinstance(node, Repeat):
+        parts: List[RegexNode] = [node.child] * node.low
+        parts.extend([Maybe(node.child)] * (node.high - node.low))
+        if not parts:
+            return _build_fragment(Epsilon(), enfa, alphabet)
+        if len(parts) == 1:
+            return _build_fragment(parts[0], enfa, alphabet)
+        return _build_fragment(Concat(tuple(parts)), enfa, alphabet)
+    raise TypeError(f"unknown regex node {node!r}")  # pragma: no cover
+
+
+def _collect_literals(node: RegexNode, out: Set[Symbol]) -> None:
+    if isinstance(node, Literal):
+        out.add(node.symbol)
+    elif isinstance(node, SymbolClass):
+        out.update(node.symbols)
+    elif isinstance(node, Concat):
+        for part in node.parts:
+            _collect_literals(part, out)
+    elif isinstance(node, Alternation):
+        for option in node.options:
+            _collect_literals(option, out)
+    elif isinstance(node, (Star, Plus, Maybe)):
+        _collect_literals(node.child, out)
+    elif isinstance(node, Repeat):
+        _collect_literals(node.child, out)
+
+
+def compile_regex(
+    pattern: str, alphabet: Optional[Sequence[Symbol]] = None
+) -> NFA:
+    """Compile ``pattern`` into an epsilon-free NFA over ``alphabet``.
+
+    When ``alphabet`` is omitted it is inferred from the literals appearing
+    in the pattern (falling back to the binary alphabet for literal-free
+    patterns); an explicit alphabet is required for ``.`` to be meaningful
+    beyond the inferred symbols.
+    """
+    ast = parse_regex(pattern)
+    if alphabet is None:
+        literals: Set[Symbol] = set()
+        _collect_literals(ast, literals)
+        alphabet = tuple(sorted(literals)) if literals else BINARY_ALPHABET
+    alphabet = tuple(alphabet)
+
+    enfa = _EpsilonNFA()
+    entry, exit_ = _build_fragment(ast, enfa, alphabet)
+
+    # Epsilon elimination: state q of the result has a transition (q, a, r)
+    # whenever some state in eclose(q) has a symbol edge to r; q is accepting
+    # whenever eclose(q) contains the Thompson exit state.
+    closures: Dict[int, FrozenSet[int]] = {}
+    all_states = range(enfa.next_state)
+    for state in all_states:
+        closures[state] = enfa.epsilon_closure([state])
+
+    transitions: Set[Tuple[int, Symbol, int]] = set()
+    for state in all_states:
+        for member in closures[state]:
+            for symbol in alphabet:
+                for target in enfa.symbol_edges.get((member, symbol), ()):
+                    transitions.add((state, symbol, target))
+    accepting = frozenset(
+        state for state in all_states if exit_ in closures[state]
+    )
+    nfa = NFA(
+        states=frozenset(all_states),
+        initial=entry,
+        transitions=frozenset(transitions),
+        accepting=accepting,
+        alphabet=alphabet,
+    )
+    return nfa.prune_unreachable().relabeled()

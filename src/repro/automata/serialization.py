@@ -1,0 +1,195 @@
+"""Serialization of automata and related objects.
+
+A library users adopt needs a way to get automata in and out: this module
+provides a stable JSON document format for :class:`~repro.automata.nfa.NFA`
+(round-trip safe, versioned), Graphviz/DOT export for inspection, and a
+simple line-oriented text format (one transition per line) convenient for
+hand-written fixtures and for interoperability with other automata tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError
+
+#: Version tag embedded in JSON documents so the format can evolve safely.
+JSON_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def nfa_to_dict(nfa: NFA) -> Dict[str, object]:
+    """A JSON-serialisable dictionary describing the NFA.
+
+    State labels are stringified; automata whose states are not strings are
+    therefore serialisable but come back with string labels (language and
+    slice counts are unaffected).
+    """
+    return {
+        "format": "repro-nfa",
+        "version": JSON_FORMAT_VERSION,
+        "alphabet": list(nfa.alphabet),
+        "states": sorted(str(state) for state in nfa.states),
+        "initial": str(nfa.initial),
+        "accepting": sorted(str(state) for state in nfa.accepting),
+        "transitions": sorted(
+            [str(source), symbol, str(target)]
+            for source, symbol, target in nfa.transitions
+        ),
+    }
+
+
+def nfa_from_dict(document: Dict[str, object]) -> NFA:
+    """Rebuild an NFA from :func:`nfa_to_dict` output (validating the format)."""
+    if document.get("format") != "repro-nfa":
+        raise AutomatonError("not a repro-nfa document (missing format tag)")
+    version = document.get("version")
+    if version != JSON_FORMAT_VERSION:
+        raise AutomatonError(f"unsupported repro-nfa document version {version!r}")
+    try:
+        states = frozenset(str(state) for state in document["states"])
+        transitions = frozenset(
+            (str(source), str(symbol), str(target))
+            for source, symbol, target in document["transitions"]
+        )
+        return NFA(
+            states=states,
+            initial=str(document["initial"]),
+            transitions=transitions,
+            accepting=frozenset(str(state) for state in document["accepting"]),
+            alphabet=tuple(str(symbol) for symbol in document["alphabet"]),
+        )
+    except KeyError as missing:
+        raise AutomatonError(f"repro-nfa document is missing field {missing}") from missing
+
+
+def dumps(nfa: NFA, indent: Optional[int] = 2) -> str:
+    """Serialise the NFA as a JSON string."""
+    return json.dumps(nfa_to_dict(nfa), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> NFA:
+    """Parse an NFA from a JSON string produced by :func:`dumps`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise AutomatonError(f"invalid JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise AutomatonError("expected a JSON object at the top level")
+    return nfa_from_dict(document)
+
+
+def dump(nfa: NFA, destination: Union[str, TextIO], indent: Optional[int] = 2) -> None:
+    """Write the NFA to a path or file object as JSON."""
+    text = dumps(nfa, indent=indent)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+
+
+def load(source: Union[str, TextIO]) -> NFA:
+    """Read an NFA from a path or file object containing JSON."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return loads(handle.read())
+    return loads(source.read())
+
+
+# ----------------------------------------------------------------------
+# Line-oriented text format
+# ----------------------------------------------------------------------
+def nfa_to_text(nfa: NFA) -> str:
+    """A human-editable text form.
+
+    Layout::
+
+        alphabet: 0 1
+        initial: q0
+        accepting: q2 q3
+        q0 0 q1
+        q1 1 q2
+        ...
+
+    Comment lines start with ``#``; blank lines are ignored.
+    """
+    lines = [
+        "alphabet: " + " ".join(nfa.alphabet),
+        "initial: " + str(nfa.initial),
+        "accepting: " + " ".join(sorted(str(state) for state in nfa.accepting)),
+    ]
+    for source, symbol, target in sorted(
+        (str(s), a, str(t)) for s, a, t in nfa.transitions
+    ):
+        lines.append(f"{source} {symbol} {target}")
+    return "\n".join(lines) + "\n"
+
+
+def nfa_from_text(text: str) -> NFA:
+    """Parse the text format of :func:`nfa_to_text`."""
+    alphabet: Optional[Sequence[str]] = None
+    initial: Optional[str] = None
+    accepting: List[str] = []
+    transitions: List[tuple] = []
+    extra_states: List[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("alphabet:"):
+            alphabet = line.split(":", 1)[1].split()
+        elif line.startswith("initial:"):
+            initial = line.split(":", 1)[1].strip()
+        elif line.startswith("accepting:"):
+            accepting = line.split(":", 1)[1].split()
+        elif line.startswith("states:"):
+            extra_states = line.split(":", 1)[1].split()
+        else:
+            parts = line.split()
+            if len(parts) != 3:
+                raise AutomatonError(f"cannot parse transition line {raw_line!r}")
+            transitions.append((parts[0], parts[1], parts[2]))
+    if initial is None:
+        raise AutomatonError("text automaton is missing an 'initial:' line")
+    return NFA.build(
+        transitions,
+        initial=initial,
+        accepting=accepting,
+        states=extra_states or None,
+        alphabet=alphabet,
+    )
+
+
+# ----------------------------------------------------------------------
+# Graphviz / DOT export (inspection only; no parser)
+# ----------------------------------------------------------------------
+def nfa_to_dot(nfa: NFA, name: str = "nfa", rankdir: str = "LR") -> str:
+    """Render the NFA as a Graphviz DOT digraph (for documentation/debugging).
+
+    Accepting states are drawn with a double circle, the initial state is
+    marked by an incoming arrow from an invisible node, and parallel
+    transitions between the same pair of states are merged onto one edge with
+    a comma-separated label.
+    """
+    def quote(value: object) -> str:
+        return '"' + str(value).replace('"', '\\"') + '"'
+
+    lines = [f"digraph {quote(name)} {{", f"  rankdir={rankdir};"]
+    lines.append('  __start__ [shape=point, style=invis];')
+    for state in sorted(nfa.states, key=repr):
+        shape = "doublecircle" if state in nfa.accepting else "circle"
+        lines.append(f"  {quote(state)} [shape={shape}];")
+    lines.append(f"  __start__ -> {quote(nfa.initial)};")
+    merged: Dict[tuple, List[str]] = {}
+    for source, symbol, target in nfa.transitions:
+        merged.setdefault((str(source), str(target)), []).append(symbol)
+    for (source, target), symbols in sorted(merged.items()):
+        label = ",".join(sorted(symbols))
+        lines.append(f"  {quote(source)} -> {quote(target)} [label={quote(label)}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,222 @@
+"""The unrolled automaton and its membership oracles.
+
+Algorithm 3 of the paper first unrolls the input NFA ``A`` into an acyclic
+layered graph ``A_unroll`` with ``n + 1`` copies of every state, then runs a
+dynamic program over the layers.  :class:`UnrolledAutomaton` captures exactly
+the structure the algorithms need:
+
+* the set of *live* states per level (states ``q`` with ``L(q^l)`` non-empty
+  — the paper assumes all states of the unrolling are reachable);
+* the predecessor sets ``Pred(q, b)`` restricted to live states;
+* membership oracles "is word ``w`` in ``L(q^|w|)``" and "is ``w`` in
+  ``⋃_{q in P} L(q^|w|)``", implemented by simulating the original NFA and
+  memoising the reachable-state set per word.  This memoisation realises the
+  paper's amortisation argument (reachable sets of all stored samples are
+  precomputed once, so each oracle call is O(1) afterwards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.automata.nfa import NFA, State, Symbol, Word, as_word
+from repro.errors import AutomatonError
+
+
+@dataclass
+class ReachabilityCache:
+    """Memoises, per word, the set of NFA states reachable on that word.
+
+    The cache is keyed by the word tuple.  Prefix sharing is exploited by
+    storing every prefix encountered while simulating a new word, so the
+    incremental cost of caching a word that extends an already-cached one is
+    a single simulation step.
+    """
+
+    nfa: NFA
+
+    def __post_init__(self) -> None:
+        self._cache: Dict[Word, FrozenSet[State]] = {
+            (): frozenset({self.nfa.initial})
+        }
+        self.lookups = 0
+        self.simulated_steps = 0
+
+    def reachable(self, word: "str | Word") -> FrozenSet[State]:
+        """Return the set of states reachable from the initial state on ``word``."""
+        word = as_word(word)
+        self.lookups += 1
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        # Find the longest cached prefix and extend it one symbol at a time.
+        prefix_length = len(word) - 1
+        while prefix_length > 0 and word[:prefix_length] not in self._cache:
+            prefix_length -= 1
+        current = self._cache[word[:prefix_length]]
+        for position in range(prefix_length, len(word)):
+            current = self.nfa.step(current, word[position])
+            self.simulated_steps += 1
+            self._cache[word[: position + 1]] = current
+        return current
+
+    def contains(self, state: State, word: "str | Word") -> bool:
+        """Whether ``word`` belongs to ``L(state^{|word|})``."""
+        return state in self.reachable(word)
+
+    def contains_any(self, states: Iterable[State], word: "str | Word") -> bool:
+        """Whether ``word`` belongs to ``⋃_{q in states} L(q^{|word|})``."""
+        reachable = self.reachable(word)
+        return any(state in reachable for state in states)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class UnrolledAutomaton:
+    """The layered DAG ``A_unroll`` for a given NFA and maximum length ``n``.
+
+    Parameters
+    ----------
+    nfa:
+        The input automaton ``A``.
+    length:
+        The word length ``n`` (number of layers beyond layer 0).
+
+    Notes
+    -----
+    States of the unrolling are pairs ``(q, l)`` conceptually; the class
+    never materialises them explicitly — it exposes the per-level live state
+    sets and predecessor queries, which is all the FPRAS needs.
+    """
+
+    def __init__(self, nfa: NFA, length: int) -> None:
+        if length < 0:
+            raise AutomatonError("unrolling length must be non-negative")
+        self.nfa = nfa
+        self.length = length
+        self.cache = ReachabilityCache(nfa)
+        self._live: List[FrozenSet[State]] = self._compute_live_states()
+        self._nonempty: List[FrozenSet[State]] = self._live
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def _compute_live_states(self) -> List[FrozenSet[State]]:
+        """Level-by-level forward reachability: live(l) = {q : L(q^l) != {}}."""
+        levels: List[FrozenSet[State]] = [frozenset({self.nfa.initial})]
+        for _ in range(self.length):
+            previous = levels[-1]
+            current: Set[State] = set()
+            for state in previous:
+                for symbol in self.nfa.alphabet:
+                    current.update(self.nfa.successors(state, symbol))
+            levels.append(frozenset(current))
+        return levels
+
+    def live_states(self, level: int) -> FrozenSet[State]:
+        """States ``q`` whose language slice ``L(q^level)`` is non-empty."""
+        self._check_level(level)
+        return self._live[level]
+
+    def is_live(self, state: State, level: int) -> bool:
+        """Whether ``L(state^level)`` is non-empty."""
+        return state in self.live_states(level)
+
+    def predecessors(self, state: State, symbol: Symbol, level: int) -> FrozenSet[State]:
+        """``Pred(q, b)`` restricted to states live at ``level - 1``.
+
+        Restricting to live predecessors is sound — dead predecessors
+        contribute empty languages to the union — and keeps the number of
+        sets passed to AppUnion as small as possible.
+        """
+        self._check_level(level)
+        if level == 0:
+            return frozenset()
+        return self.nfa.predecessors(state, symbol) & self._live[level - 1]
+
+    def predecessors_of_set(
+        self, states: Iterable[State], symbol: Symbol, level: int
+    ) -> FrozenSet[State]:
+        """Union of ``Pred(q, b)`` over ``q`` in ``states`` (live only)."""
+        result: Set[State] = set()
+        for state in states:
+            result.update(self.predecessors(state, symbol, level))
+        return frozenset(result)
+
+    def accepting_live_states(self) -> FrozenSet[State]:
+        """Accepting states live at the final level ``n``."""
+        return self.live_states(self.length) & self.nfa.accepting
+
+    # ------------------------------------------------------------------
+    # Membership oracles
+    # ------------------------------------------------------------------
+    def member(self, state: State, word: "str | Word") -> bool:
+        """Oracle: is ``word`` in ``L(state^{|word|})``?"""
+        return self.cache.contains(state, word)
+
+    def member_of_union(self, states: Iterable[State], word: "str | Word") -> bool:
+        """Oracle: is ``word`` in ``⋃_{q in states} L(q^{|word|})``?"""
+        return self.cache.contains_any(states, word)
+
+    def membership_oracle(self, state: State):
+        """A zero-argument-closure style oracle for a single unrolled state.
+
+        Returned callables have the signature ``oracle(word) -> bool`` and
+        are what :func:`repro.counting.union.approximate_union` consumes.
+        """
+
+        def oracle(word: "str | Word") -> bool:
+            return self.member(state, word)
+
+        return oracle
+
+    def warm_cache(self, words: Iterable["str | Word"]) -> None:
+        """Precompute reachable sets for ``words`` (the amortisation step)."""
+        for word in words:
+            self.cache.reachable(word)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def witness(self, state: State, level: int) -> Optional[Word]:
+        """One word of ``L(state^level)``, or ``None`` if the slice is empty.
+
+        Used by Algorithm 3's padding step.  Found by walking backwards from
+        ``(state, level)`` through live predecessor layers.
+        """
+        self._check_level(level)
+        if not self.is_live(state, level):
+            return None
+        suffix: List[Symbol] = []
+        current = state
+        for current_level in range(level, 0, -1):
+            step_found = False
+            for symbol in self.nfa.alphabet:
+                candidates = self.predecessors(current, symbol, current_level)
+                if candidates:
+                    chosen = sorted(candidates, key=repr)[0]
+                    suffix.append(symbol)
+                    current = chosen
+                    step_found = True
+                    break
+            if not step_found:  # pragma: no cover - liveness guarantees a predecessor
+                return None
+        suffix.reverse()
+        return tuple(suffix)
+
+    def slice_size_upper_bound(self, level: int) -> int:
+        """Trivial upper bound ``|alphabet|^level`` used for sanity checks."""
+        return len(self.nfa.alphabet) ** level
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.length:
+            raise AutomatonError(
+                f"level {level} outside the unrolling range [0, {self.length}]"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UnrolledAutomaton(states={self.nfa.num_states}, length={self.length})"
+        )

@@ -1,0 +1,169 @@
+"""Command-line interface: ``repro-nfa`` / ``python -m repro``.
+
+Sub-commands
+------------
+``count``      approximate (or exactly count) a named family instance;
+``sample``     draw almost-uniform words from a family instance;
+``experiment`` run one of the registered experiments (E1 … E7);
+``families``   list the available structured NFA families;
+``params``     print the paper vs operational FPRAS parameters for (m, n, eps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.automata.exact import count_exact
+from repro.automata.families import FAMILY_REGISTRY, build_family
+from repro.automata.nfa import word_to_string
+from repro.counting.fpras import FPRASParameters, NFACounter, count_nfa
+from repro.counting.uniform import UniformWordSampler
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.reporting import format_key_values, format_table
+
+
+def _family_arguments(raw: Optional[List[str]]) -> dict:
+    """Parse ``key=value`` family parameters, coercing ints where possible."""
+    parsed: dict = {}
+    for item in raw or []:
+        if "=" not in item:
+            raise SystemExit(f"family argument {item!r} is not of the form key=value")
+        key, value = item.split("=", 1)
+        try:
+            parsed[key] = int(value)
+        except ValueError:
+            parsed[key] = value
+    return parsed
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    nfa = build_family(args.family, **_family_arguments(args.family_arg))
+    rows = []
+    if args.exact or args.compare:
+        exact = count_exact(nfa, args.length)
+        rows.append({"method": "exact", "estimate": exact, "rel_error": 0.0})
+        if args.exact and not args.compare:
+            print(format_table(rows, title=f"#NFA for {args.family}, n={args.length}"))
+            return 0
+    result = count_nfa(
+        nfa, args.length, epsilon=args.epsilon, delta=args.delta, seed=args.seed
+    )
+    row = {"method": "fpras", "estimate": result.estimate}
+    if rows:
+        exact = rows[0]["estimate"]
+        row["rel_error"] = abs(result.estimate - exact) / exact if exact else 0.0
+    rows.append(row)
+    print(format_table(rows, title=f"#NFA for {args.family}, n={args.length}"))
+    print(
+        format_key_values(
+            {
+                "states": nfa.num_states,
+                "samples_per_state (ns)": result.ns,
+                "sampling_attempts (xns)": result.xns,
+                "elapsed_seconds": result.elapsed_seconds,
+            },
+            title="run details",
+        )
+    )
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    nfa = build_family(args.family, **_family_arguments(args.family_arg))
+    parameters = FPRASParameters(epsilon=args.epsilon, delta=args.delta, seed=args.seed)
+    counter = NFACounter(nfa, args.length, parameters)
+    sampler = UniformWordSampler(counter)
+    estimate = sampler.prepare()
+    print(f"estimated |L(A_{args.length})| = {estimate:.4g}")
+    for word in sampler.sample_many(args.count):
+        print(word_to_string(word))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_experiment(args.name, quick=not args.full)
+    print(format_table(result.rows, title=f"{result.experiment}: {result.description}"))
+    for note in result.notes:
+        print(f"note: {note}")
+    print(f"(elapsed {result.elapsed_seconds:.2f}s)")
+    return 0
+
+
+def _cmd_families(_args: argparse.Namespace) -> int:
+    rows = [{"family": name, "builder": fn.__name__} for name, fn in sorted(FAMILY_REGISTRY.items())]
+    print(format_table(rows, title="available NFA families"))
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    parameters = FPRASParameters(epsilon=args.epsilon, delta=args.delta)
+    print(
+        format_key_values(
+            parameters.describe(args.length, args.states),
+            title=f"FPRAS parameters for m={args.states}, n={args.length}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-nfa",
+        description="A faster FPRAS for #NFA (PODS 2024) — reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    count = subparsers.add_parser("count", help="approximate #NFA on a named family")
+    count.add_argument("family", choices=sorted(FAMILY_REGISTRY))
+    count.add_argument("--length", "-n", type=int, default=10)
+    count.add_argument("--epsilon", type=float, default=0.3)
+    count.add_argument("--delta", type=float, default=0.1)
+    count.add_argument("--seed", type=int, default=None)
+    count.add_argument("--exact", action="store_true", help="exact count only")
+    count.add_argument("--compare", action="store_true", help="exact and FPRAS")
+    count.add_argument(
+        "--family-arg", action="append", metavar="KEY=VALUE", help="family parameter"
+    )
+    count.set_defaults(handler=_cmd_count)
+
+    sample = subparsers.add_parser("sample", help="draw almost-uniform accepted words")
+    sample.add_argument("family", choices=sorted(FAMILY_REGISTRY))
+    sample.add_argument("--length", "-n", type=int, default=10)
+    sample.add_argument("--count", "-c", type=int, default=5)
+    sample.add_argument("--epsilon", type=float, default=0.4)
+    sample.add_argument("--delta", type=float, default=0.1)
+    sample.add_argument("--seed", type=int, default=None)
+    sample.add_argument(
+        "--family-arg", action="append", metavar="KEY=VALUE", help="family parameter"
+    )
+    sample.set_defaults(handler=_cmd_sample)
+
+    experiment = subparsers.add_parser("experiment", help="run a registered experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--full", action="store_true", help="full (slow) sweep")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    families_cmd = subparsers.add_parser("families", help="list NFA families")
+    families_cmd.set_defaults(handler=_cmd_families)
+
+    params = subparsers.add_parser("params", help="show paper vs operational parameters")
+    params.add_argument("--states", "-m", type=int, default=10)
+    params.add_argument("--length", "-n", type=int, default=20)
+    params.add_argument("--epsilon", type=float, default=0.2)
+    params.add_argument("--delta", type=float, default=0.1)
+    params.set_defaults(handler=_cmd_params)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by both the console script and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

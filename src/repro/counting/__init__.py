@@ -1,0 +1,47 @@
+"""Counting algorithms: the paper's FPRAS, its subroutines, and baselines.
+
+Public entry points:
+
+* :class:`~repro.counting.fpras.NFACounter` / :func:`~repro.counting.fpras.count_nfa`
+  — Algorithm 3 of the paper (the faster FPRAS);
+* :func:`~repro.counting.union.approximate_union` — Algorithm 1 (Karp–Luby
+  style union estimation);
+* :class:`~repro.counting.sampler.SampleDraw` — Algorithm 2 (backward
+  character-by-character sampling);
+* :class:`~repro.counting.uniform.UniformWordSampler` — almost-uniform word
+  generation built on the counter (the counting↔sampling direction used by
+  the applications);
+* baselines: :func:`~repro.counting.acjr.count_nfa_acjr`,
+  :func:`~repro.counting.montecarlo.count_montecarlo`,
+  :func:`~repro.counting.bruteforce.count_bruteforce`.
+"""
+
+from repro.counting.params import FPRASParameters, ParameterScale
+from repro.counting.union import SetAccess, UnionEstimate, approximate_union
+from repro.counting.sampler import SampleDraw
+from repro.counting.fpras import CountResult, NFACounter, count_nfa
+from repro.counting.acjr import ACJRCounter, count_nfa_acjr
+from repro.counting.montecarlo import MonteCarloEstimate, count_montecarlo
+from repro.counting.bruteforce import count_bruteforce
+from repro.counting.uniform import UniformWordSampler
+from repro.counting.diagnostics import InvariantReport, check_invariants
+
+__all__ = [
+    "FPRASParameters",
+    "ParameterScale",
+    "SetAccess",
+    "UnionEstimate",
+    "approximate_union",
+    "SampleDraw",
+    "CountResult",
+    "NFACounter",
+    "count_nfa",
+    "ACJRCounter",
+    "count_nfa_acjr",
+    "MonteCarloEstimate",
+    "count_montecarlo",
+    "count_bruteforce",
+    "UniformWordSampler",
+    "InvariantReport",
+    "check_invariants",
+]

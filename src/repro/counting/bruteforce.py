@@ -1,0 +1,41 @@
+"""Brute-force #NFA baseline: explicit enumeration of the slice.
+
+Only usable when ``|alphabet|^n`` is small; the counter walks all words of
+length ``n`` and checks acceptance.  Tests use it as an independent oracle
+against :mod:`repro.automata.exact` (which uses a completely different
+algorithm), and the benchmark harness uses it to show the exponential wall
+the approximation schemes avoid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.automata.nfa import NFA
+from repro.errors import ParameterError
+
+#: Refuse to enumerate more words than this by default (safety valve).
+DEFAULT_ENUMERATION_LIMIT = 2_000_000
+
+
+def count_bruteforce(
+    nfa: NFA, length: int, limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT
+) -> int:
+    """Count ``|L(A_length)|`` by enumerating every word of that length.
+
+    Raises :class:`~repro.errors.ParameterError` when the enumeration would
+    exceed ``limit`` words (pass ``limit=None`` to disable the check).
+    """
+    if length < 0:
+        raise ParameterError("length must be non-negative")
+    total_words = len(nfa.alphabet) ** length
+    if limit is not None and total_words > limit:
+        raise ParameterError(
+            f"brute force would enumerate {total_words} words (> limit {limit})"
+        )
+    accepted = 0
+    for word in itertools.product(nfa.alphabet, repeat=length):
+        if nfa.accepts(word):
+            accepted += 1
+    return accepted

@@ -1,0 +1,199 @@
+"""Invariant diagnostics: check Inv-1 / Inv-2 against exact ground truth.
+
+The paper's analysis rests on two invariants of the tables Algorithm 3
+maintains:
+
+* **Inv-1** — every per-(state, level) estimate `N(q^l)` is within a
+  `(1 ± β)^l` multiplicative band of `|L(q^l)|`;
+* **Inv-2** — every stored multiset `S(q^l)` is close, in total variation
+  distance, to i.i.d. uniform samples from `L(q^l)`.
+
+On instances small enough for exact counting (and, for Inv-2, exact slice
+enumeration) these can be checked directly.  :func:`check_invariants` runs a
+completed counter's tables through both checks and reports per-state-level
+violations — useful both as a debugging tool for the implementation and as
+the measurement backing experiment E7 / the accuracy experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.statistics import uniformity_report
+from repro.automata.exact import count_per_state_exact
+from repro.automata.nfa import State
+from repro.counting.fpras import NFACounter
+from repro.errors import ParameterError
+
+StateLevel = Tuple[State, int]
+
+
+@dataclass
+class EstimateCheck:
+    """Inv-1 check result for one (state, level) pair."""
+
+    state: State
+    level: int
+    exact: int
+    estimate: float
+    allowed_factor: float
+
+    @property
+    def ratio(self) -> float:
+        """estimate / exact (``inf`` for spurious estimates of empty slices)."""
+        if self.exact == 0:
+            return float("inf") if self.estimate > 0 else 1.0
+        return self.estimate / self.exact
+
+    @property
+    def holds(self) -> bool:
+        """Whether the estimate lies inside the allowed multiplicative band."""
+        if self.exact == 0:
+            return self.estimate == 0
+        return 1.0 / self.allowed_factor <= self.ratio <= self.allowed_factor
+
+
+@dataclass
+class SampleCheck:
+    """Inv-2 check result for one (state, level) pair."""
+
+    state: State
+    level: int
+    slice_size: int
+    sample_size: int
+    tv_distance: float
+    noise_tv: float
+
+    @property
+    def excess_tv(self) -> float:
+        return max(0.0, self.tv_distance - self.noise_tv)
+
+
+@dataclass
+class InvariantReport:
+    """Aggregate result of checking Inv-1 and Inv-2 on a completed counter."""
+
+    estimate_checks: List[EstimateCheck] = field(default_factory=list)
+    sample_checks: List[SampleCheck] = field(default_factory=list)
+
+    @property
+    def estimate_violations(self) -> List[EstimateCheck]:
+        return [check for check in self.estimate_checks if not check.holds]
+
+    @property
+    def worst_estimate_ratio(self) -> float:
+        """Largest deviation factor max(ratio, 1/ratio) over all pairs."""
+        worst = 1.0
+        for check in self.estimate_checks:
+            if check.exact == 0:
+                continue
+            ratio = check.ratio
+            worst = max(worst, ratio, 1.0 / ratio if ratio > 0 else float("inf"))
+        return worst
+
+    @property
+    def max_excess_tv(self) -> float:
+        return max((check.excess_tv for check in self.sample_checks), default=0.0)
+
+    @property
+    def inv1_fraction(self) -> float:
+        """Fraction of (state, level) pairs whose estimate is inside the band."""
+        if not self.estimate_checks:
+            return 1.0
+        holding = sum(1 for check in self.estimate_checks if check.holds)
+        return holding / len(self.estimate_checks)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "pairs_checked": len(self.estimate_checks),
+            "inv1_fraction": self.inv1_fraction,
+            "worst_estimate_ratio": self.worst_estimate_ratio,
+            "sample_multisets_checked": len(self.sample_checks),
+            "max_excess_tv": self.max_excess_tv,
+        }
+
+
+def check_estimates(
+    counter: NFACounter, allowed_factor: Optional[float] = None
+) -> List[EstimateCheck]:
+    """Check Inv-1: compare every `N(q^l)` against the exact `|L(q^l)|`.
+
+    ``allowed_factor`` defaults to a generous interpretation of the paper's
+    band for the *scaled* parameters: `(1 + epsilon)` at the final level
+    rather than `(1 + β)^l` (which the scaled constants cannot meet with the
+    paper's probability).  Pass an explicit factor for stricter checks.
+    """
+    if not counter.has_run:
+        raise ParameterError("run the counter before checking its invariants")
+    factor = (
+        allowed_factor
+        if allowed_factor is not None
+        else (1.0 + counter.parameters.epsilon) * 1.5
+    )
+    exact_table = count_per_state_exact(counter.nfa, counter.length)
+    checks: List[EstimateCheck] = []
+    for level in range(counter.length + 1):
+        for state in counter.unroll.live_states(level):
+            checks.append(
+                EstimateCheck(
+                    state=state,
+                    level=level,
+                    exact=exact_table[(state, level)],
+                    estimate=counter.state_estimate(state, level),
+                    allowed_factor=factor,
+                )
+            )
+    return checks
+
+
+def check_samples(
+    counter: NFACounter, max_slice_size: int = 4096
+) -> List[SampleCheck]:
+    """Check Inv-2: measure TV distance of each stored multiset from uniform.
+
+    Only levels whose slices are small enough to enumerate (``max_slice_size``)
+    are checked; padded copies are part of the multiset and therefore count
+    against uniformity, exactly as in Lemma 5's ``SmallS`` event.
+    """
+    if not counter.has_run:
+        raise ParameterError("run the counter before checking its invariants")
+    checks: List[SampleCheck] = []
+    alphabet = counter.nfa.alphabet
+    for (state, level), samples in counter.samples.items():
+        if level == 0 or not samples:
+            continue
+        if len(alphabet) ** level > max_slice_size:
+            continue
+        population = [
+            word
+            for word in itertools.product(alphabet, repeat=level)
+            if state in counter.nfa.reachable_states(word)
+        ]
+        if not population:
+            continue
+        report = uniformity_report(list(samples), population)
+        checks.append(
+            SampleCheck(
+                state=state,
+                level=level,
+                slice_size=len(population),
+                sample_size=len(samples),
+                tv_distance=report.tv_distance,
+                noise_tv=report.expected_tv_distance,
+            )
+        )
+    return checks
+
+
+def check_invariants(
+    counter: NFACounter,
+    allowed_factor: Optional[float] = None,
+    max_slice_size: int = 4096,
+) -> InvariantReport:
+    """Run both invariant checks on a completed counter."""
+    return InvariantReport(
+        estimate_checks=check_estimates(counter, allowed_factor),
+        sample_checks=check_samples(counter, max_slice_size),
+    )

@@ -1,0 +1,363 @@
+"""Algorithm 3 — the paper's FPRAS for #NFA.
+
+The main procedure runs a dynamic program over the unrolled automaton: for
+every level ``l`` (from 0 to ``n``) and every live state ``q`` it computes
+
+* ``N(q^l)`` — an estimate of ``|L(q^l)|``, obtained by applying ``AppUnion``
+  (Algorithm 1) to the predecessor languages for each alphabet symbol and
+  summing the per-symbol estimates (the per-symbol unions are disjoint since
+  their words end in different symbols);
+* ``S(q^l)`` — a multiset of ``ns`` near-uniform samples from ``L(q^l)``,
+  obtained by ``xns`` invocations of the backward sampler (Algorithm 2) and
+  padded with a fixed witness word if fewer than ``ns`` samples were drawn.
+
+The returned estimate is ``N(q_F^n)``; the implementation generalises the
+paper's single-accepting-state assumption by estimating the union of the
+accepting states' languages at the last level with one extra ``AppUnion``
+call (the paper's "without loss of generality" reduction in code form —
+:meth:`repro.automata.nfa.NFA.normalized_single_accepting` is also available
+if the caller prefers the structural reduction).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.automata.nfa import NFA, State, Word
+from repro.automata.unroll import UnrolledAutomaton
+from repro.counting.params import FPRASParameters, ParameterScale
+from repro.counting.sampler import SampleDraw, SamplerStatistics
+from repro.counting.union import SetAccess, approximate_union
+from repro.errors import EmptyLanguageError, ParameterError
+
+StateLevel = Tuple[State, int]
+
+
+@dataclass
+class CountResult:
+    """Outcome of one FPRAS run, with enough diagnostics for the experiments.
+
+    Attributes
+    ----------
+    estimate:
+        The estimate of ``|L(A_n)|``.
+    length, num_states:
+        The instance parameters ``n`` and ``m``.
+    epsilon, delta:
+        The accuracy / confidence targets used.
+    ns, xns:
+        Operational per-state sample-set size and sampling-attempt budget.
+    elapsed_seconds:
+        Wall-clock time of the run.
+    union_calls, membership_calls, sample_draws, sample_successes:
+        Work counters aggregated over the whole run.
+    padded_states:
+        Number of (state, level) pairs whose sample multiset needed padding
+        (the ``SmallS`` event of Lemma 5).
+    state_estimates:
+        The full table ``N(q^l)`` (used by accuracy experiments and by the
+        uniform word sampler).
+    sample_counts:
+        Number of genuinely drawn (non-padding) samples per (state, level).
+    """
+
+    estimate: float
+    length: int
+    num_states: int
+    epsilon: float
+    delta: float
+    ns: int
+    xns: int
+    elapsed_seconds: float
+    union_calls: int
+    membership_calls: int
+    sample_draws: int
+    sample_successes: int
+    padded_states: int
+    state_estimates: Dict[StateLevel, float] = field(default_factory=dict)
+    sample_counts: Dict[StateLevel, int] = field(default_factory=dict)
+
+    def relative_error(self, exact: int) -> float:
+        """``|estimate - exact| / exact`` (``inf`` when ``exact`` is 0 and estimate isn't)."""
+        if exact == 0:
+            return 0.0 if self.estimate == 0 else float("inf")
+        return abs(self.estimate - exact) / exact
+
+    def within_guarantee(self, exact: int) -> bool:
+        """Whether the estimate satisfies the paper's multiplicative guarantee."""
+        if exact == 0:
+            return self.estimate == 0
+        lower = exact / (1.0 + self.epsilon)
+        upper = exact * (1.0 + self.epsilon)
+        return lower <= self.estimate <= upper
+
+
+class NFACounter:
+    """The faster FPRAS for #NFA (Algorithm 3 of the paper).
+
+    Typical use::
+
+        counter = NFACounter(nfa, length=12, parameters=FPRASParameters(epsilon=0.3))
+        result = counter.run()
+        print(result.estimate)
+
+    The instance keeps its internal ``N`` / ``S`` tables after :meth:`run`
+    so that :class:`repro.counting.uniform.UniformWordSampler` can reuse them
+    to generate words without re-running the dynamic program.
+    """
+
+    def __init__(
+        self,
+        nfa: NFA,
+        length: int,
+        parameters: Optional[FPRASParameters] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if length < 0:
+            raise ParameterError("length must be non-negative")
+        self.nfa = nfa
+        self.length = length
+        self.parameters = parameters if parameters is not None else FPRASParameters()
+        seed = self.parameters.seed
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.unroll = UnrolledAutomaton(nfa, length)
+        self.estimates: Dict[StateLevel, float] = {}
+        self.samples: Dict[StateLevel, List[Word]] = {}
+        self.sampler_statistics = SamplerStatistics()
+        self._union_calls = 0
+        self._membership_calls = 0
+        self._padded_states = 0
+        self._sample_counts: Dict[StateLevel, int] = {}
+        self._has_run = False
+
+    # ------------------------------------------------------------------
+    # Main procedure
+    # ------------------------------------------------------------------
+    def run(self) -> CountResult:
+        """Execute Algorithm 3 and return the estimate with diagnostics."""
+        start = time.perf_counter()
+        n = self.length
+        m = self.nfa.num_states
+        beta = self.parameters.beta(n)
+        eta = self.parameters.eta(n, m)
+        ns = self.parameters.ns(n, m)
+        xns = self.parameters.xns(n, m)
+
+        self._initialise_level_zero(ns)
+        for level in range(1, n + 1):
+            for state in sorted(self.unroll.live_states(level), key=repr):
+                self._process_state(state, level, beta, eta, ns, xns)
+
+        estimate = self._final_estimate(beta, eta)
+        elapsed = time.perf_counter() - start
+        self._has_run = True
+        return CountResult(
+            estimate=estimate,
+            length=n,
+            num_states=m,
+            epsilon=self.parameters.epsilon,
+            delta=self.parameters.delta,
+            ns=ns,
+            xns=xns,
+            elapsed_seconds=elapsed,
+            union_calls=self._union_calls + self.sampler_statistics.union_calls,
+            membership_calls=self._membership_calls
+            + self.sampler_statistics.membership_calls,
+            sample_draws=self.sampler_statistics.draws,
+            sample_successes=self.sampler_statistics.successes,
+            padded_states=self._padded_states,
+            state_estimates=dict(self.estimates),
+            sample_counts=dict(self._sample_counts),
+        )
+
+    # ------------------------------------------------------------------
+    # Steps of Algorithm 3
+    # ------------------------------------------------------------------
+    def _initialise_level_zero(self, ns: int) -> None:
+        """Lines 6-10: the base level contains only the initial state with ``lambda``."""
+        initial = self.nfa.initial
+        self.estimates[(initial, 0)] = 1.0
+        # The empty word is the single element of L(I^0); the stored multiset
+        # is padded to ns copies so AppUnion at level 1 never runs dry.
+        self.samples[(initial, 0)] = [()] * max(1, ns)
+        self._sample_counts[(initial, 0)] = 1
+
+    def _process_state(
+        self, state: State, level: int, beta: float, eta: float, ns: int, xns: int
+    ) -> None:
+        """Lines 12-30 for one (state, level) pair."""
+        estimate = self._estimate_state(state, level, beta, eta)
+        estimate = self._maybe_perturb(estimate, level, eta)
+        if estimate <= 0.0:
+            # The state is live, so |L(q^l)| >= 1; a zero estimate can only
+            # come from an unlucky scaled-down AppUnion run.  Fall back to the
+            # best single-predecessor estimate (a valid lower bound on the
+            # union) so that gamma0 is well defined and sampling can proceed.
+            estimate = self._fallback_estimate(state, level)
+        self.estimates[(state, level)] = estimate
+
+        drawer = SampleDraw(
+            self.unroll, self.estimates, self.samples, self.parameters, self.rng
+        )
+        gamma0 = self.parameters.gamma0(estimate)
+        eta_sample = eta / max(1, 2 * xns)
+        collected: List[Word] = []
+        for _ in range(xns):
+            if len(collected) >= ns:
+                break
+            word = drawer.draw(level, frozenset({state}), gamma0, beta, eta_sample)
+            if word is not None:
+                collected.append(word)
+        self._merge_sampler_statistics(drawer.statistics)
+        self._sample_counts[(state, level)] = len(collected)
+
+        if len(collected) < ns:
+            witness = self.unroll.witness(state, level)
+            if witness is None:  # pragma: no cover - live states always have witnesses
+                raise EmptyLanguageError(
+                    f"state {state!r} live at level {level} but no witness found"
+                )
+            self._padded_states += 1
+            collected.extend([witness] * (ns - len(collected)))
+        self.unroll.warm_cache(collected)
+        self.samples[(state, level)] = collected
+
+    def _estimate_state(
+        self, state: State, level: int, beta: float, eta: float
+    ) -> float:
+        """Lines 12-17: per-symbol AppUnion over predecessor languages, then sum."""
+        n = self.length
+        beta_prime = (1.0 + beta) ** (level - 1) - 1.0
+        delta_union = eta / (2.0 * (1.0 - 2.0 ** -(n + 1)))
+        total = 0.0
+        for symbol in self.nfa.alphabet:
+            predecessors = self.unroll.predecessors(state, symbol, level)
+            if not predecessors:
+                continue
+            accesses = [
+                SetAccess(
+                    oracle=self.unroll.membership_oracle(predecessor),
+                    samples=self.samples.get((predecessor, level - 1), ()),
+                    size_estimate=self.estimates.get((predecessor, level - 1), 0.0),
+                    label=(predecessor, level - 1),
+                )
+                for predecessor in sorted(predecessors, key=repr)
+            ]
+            result = approximate_union(
+                accesses,
+                epsilon=beta,
+                delta=delta_union,
+                size_slack=beta_prime,
+                parameters=self.parameters,
+                rng=self.rng,
+            )
+            self._union_calls += 1
+            self._membership_calls += result.membership_calls
+            total += result.estimate
+        return total
+
+    def _maybe_perturb(self, estimate: float, level: int, eta: float) -> float:
+        """Lines 16-19: the analysis-only random replacement of the estimate."""
+        if not self.parameters.scale.faithful_perturbation:
+            return estimate
+        threshold = eta / max(1, 2 * self.length)
+        if self.rng.random() < threshold:
+            ceiling = len(self.nfa.alphabet) ** level
+            return float(self.rng.randint(0, ceiling))
+        return estimate
+
+    def _fallback_estimate(self, state: State, level: int) -> float:
+        """Robustness guard for scaled runs (documented in DESIGN.md §5)."""
+        best = 0.0
+        for symbol in self.nfa.alphabet:
+            for predecessor in self.unroll.predecessors(state, symbol, level):
+                best = max(best, self.estimates.get((predecessor, level - 1), 0.0))
+        return max(1.0, best)
+
+    def _final_estimate(self, beta: float, eta: float) -> float:
+        """Line 31, generalised to any number of accepting states.
+
+        With a single live accepting state this is exactly ``N(q_F^n)``;
+        with several, the languages may overlap, so one more AppUnion over
+        the final level's accepting states produces the union estimate.
+        """
+        accepting = sorted(self.unroll.accepting_live_states(), key=repr)
+        if not accepting:
+            return 0.0
+        if len(accepting) == 1:
+            return self.estimates.get((accepting[0], self.length), 0.0)
+        beta_prime = (1.0 + beta) ** self.length - 1.0
+        accesses = [
+            SetAccess(
+                oracle=self.unroll.membership_oracle(state),
+                samples=self.samples.get((state, self.length), ()),
+                size_estimate=self.estimates.get((state, self.length), 0.0),
+                label=(state, self.length),
+            )
+            for state in accepting
+        ]
+        result = approximate_union(
+            accesses,
+            epsilon=beta,
+            delta=eta / 2.0,
+            size_slack=beta_prime,
+            parameters=self.parameters,
+            rng=self.rng,
+        )
+        self._union_calls += 1
+        self._membership_calls += result.membership_calls
+        return result.estimate
+
+    def _merge_sampler_statistics(self, stats: SamplerStatistics) -> None:
+        total = self.sampler_statistics
+        total.draws += stats.draws
+        total.successes += stats.successes
+        total.failures_phi_overflow += stats.failures_phi_overflow
+        total.failures_rejection += stats.failures_rejection
+        total.failures_no_mass += stats.failures_no_mass
+        total.union_calls += stats.union_calls
+        total.union_cache_hits += stats.union_cache_hits
+        total.membership_calls += stats.membership_calls
+
+    # ------------------------------------------------------------------
+    # Post-run accessors
+    # ------------------------------------------------------------------
+    @property
+    def has_run(self) -> bool:
+        return self._has_run
+
+    def state_estimate(self, state: State, level: int) -> float:
+        """The computed ``N(q^l)`` (0 for states never live at that level)."""
+        return self.estimates.get((state, level), 0.0)
+
+    def state_samples(self, state: State, level: int) -> Sequence[Word]:
+        """The stored sample multiset ``S(q^l)``."""
+        return tuple(self.samples.get((state, level), ()))
+
+
+def count_nfa(
+    nfa: NFA,
+    length: int,
+    epsilon: float = 0.5,
+    delta: float = 0.1,
+    seed: Optional[int] = None,
+    scale: Optional[ParameterScale] = None,
+) -> CountResult:
+    """One-call convenience wrapper around :class:`NFACounter`.
+
+    Parameters mirror the paper's interface: the NFA, the word length ``n``
+    (in unary in the paper — an ``int`` here), the accuracy ``epsilon`` and
+    the confidence ``delta``.  ``scale`` selects between paper-exact and
+    laptop-scale parameters (see :class:`ParameterScale`).
+    """
+    parameters = FPRASParameters(
+        epsilon=epsilon,
+        delta=delta,
+        scale=scale if scale is not None else ParameterScale.practical(),
+        seed=seed,
+    )
+    return NFACounter(nfa, length, parameters).run()

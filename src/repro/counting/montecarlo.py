@@ -1,0 +1,66 @@
+"""Naive Monte-Carlo baseline for #NFA.
+
+Draw ``N`` uniformly random words of length ``n`` and return the accepted
+fraction times ``|alphabet|^n``.  This is an unbiased estimator, but its
+relative accuracy degrades with the *density* ``|L(A_n)| / |alphabet|^n``:
+when the language is a vanishing fraction of all words (the common case for
+interesting queries) the number of samples needed explodes — which is
+precisely why the paper's FPRAS, whose cost is polynomial regardless of
+density, is interesting.  The scaling benchmarks plot this contrast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.automata.nfa import NFA
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """Result of a naive Monte-Carlo run."""
+
+    estimate: float
+    hits: int
+    samples: int
+    total_words: int
+
+    @property
+    def density_estimate(self) -> float:
+        """Estimated language density ``|L(A_n)| / |alphabet|^n``."""
+        if self.samples == 0:
+            return 0.0
+        return self.hits / self.samples
+
+    def relative_error(self, exact: int) -> float:
+        if exact == 0:
+            return 0.0 if self.estimate == 0 else float("inf")
+        return abs(self.estimate - exact) / exact
+
+
+def count_montecarlo(
+    nfa: NFA,
+    length: int,
+    num_samples: int = 10_000,
+    seed: Optional[Union[int, random.Random]] = None,
+) -> MonteCarloEstimate:
+    """Estimate ``|L(A_length)|`` with ``num_samples`` uniform random words."""
+    if length < 0:
+        raise ParameterError("length must be non-negative")
+    if num_samples <= 0:
+        raise ParameterError("num_samples must be positive")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    alphabet = list(nfa.alphabet)
+    total_words = len(alphabet) ** length
+    hits = 0
+    for _ in range(num_samples):
+        word = tuple(rng.choice(alphabet) for _ in range(length))
+        if nfa.accepts(word):
+            hits += 1
+    estimate = (hits / num_samples) * total_words
+    return MonteCarloEstimate(
+        estimate=estimate, hits=hits, samples=num_samples, total_words=total_words
+    )

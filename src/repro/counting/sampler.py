@@ -1,0 +1,222 @@
+"""Algorithm 2 — the backward character-by-character sampling subroutine.
+
+``sample(l, P^l, w, phi, beta, eta)`` draws a word from
+``⋃_{q in P^l} L(q^l)``: at each level it estimates, for every alphabet
+symbol ``b``, the size of the union of the ``b``-predecessor languages via
+``AppUnion`` (Algorithm 1), picks the last unread character proportionally to
+these estimates, prepends it to the suffix built so far, and recurses one
+level down while dividing the acceptance probability ``phi`` by the chosen
+branch probability.  At level 0 the accumulated word is returned with
+probability ``phi`` (rejection step), which — conditioned on the internal
+estimates being accurate — makes every word of the target language equally
+likely to be output (Theorem 2, part 1) and bounds the failure probability by
+``1 - 2/(3 e^2)`` (part 2).
+
+The implementation is iterative (the recursion in the paper is a simple tail
+recursion) and generalises from the binary alphabet to any fixed alphabet by
+estimating one union per alphabet symbol.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.automata.nfa import State, Symbol, Word
+from repro.automata.unroll import UnrolledAutomaton
+from repro.counting.params import FPRASParameters
+from repro.counting.union import SetAccess, approximate_union
+from repro.errors import ParameterError
+
+StateLevel = Tuple[State, int]
+
+
+@dataclass
+class SamplerStatistics:
+    """Counters describing the work one :class:`SampleDraw` instance performed."""
+
+    draws: int = 0
+    successes: int = 0
+    failures_phi_overflow: int = 0
+    failures_rejection: int = 0
+    failures_no_mass: int = 0
+    union_calls: int = 0
+    union_cache_hits: int = 0
+    membership_calls: int = 0
+
+    @property
+    def failures(self) -> int:
+        return (
+            self.failures_phi_overflow
+            + self.failures_rejection
+            + self.failures_no_mass
+        )
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.draws == 0:
+            return 0.0
+        return self.successes / self.draws
+
+
+class SampleDraw:
+    """Stateful wrapper around Algorithm 2.
+
+    Parameters
+    ----------
+    unroll:
+        The unrolled automaton (provides live states, predecessors and the
+        membership oracles backing ``AppUnion``).
+    estimates:
+        The table ``N(q^l)`` built so far by Algorithm 3 (levels below the
+        one being sampled must be present).
+    samples:
+        The table ``S(q^l)`` of stored sample multisets (same requirement).
+    parameters:
+        Accuracy / confidence / scaling configuration.
+    rng:
+        Randomness source shared with the main algorithm.
+
+    Notes
+    -----
+    When ``parameters.scale.reuse_union_estimates`` is set, AppUnion results
+    are memoised per ``(level, predecessor-set, symbol)`` for the lifetime of
+    the instance; Algorithm 3 creates a fresh instance (or calls
+    :meth:`clear_cache`) per sampling batch so estimates are never reused
+    across batches.
+    """
+
+    def __init__(
+        self,
+        unroll: UnrolledAutomaton,
+        estimates: Mapping[StateLevel, float],
+        samples: Mapping[StateLevel, Sequence[Word]],
+        parameters: FPRASParameters,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.unroll = unroll
+        self.estimates = estimates
+        self.samples = samples
+        self.parameters = parameters
+        self.rng = rng if rng is not None else random.Random()
+        self.statistics = SamplerStatistics()
+        self._union_cache: Dict[Tuple[int, FrozenSet[State]], float] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def draw(
+        self,
+        level: int,
+        states: FrozenSet[State],
+        gamma0: float,
+        beta: float,
+        eta: float,
+    ) -> Optional[Word]:
+        """One invocation of ``sample(level, states, lambda, gamma0, beta, eta)``.
+
+        Returns the sampled word, or ``None`` for the ``⊥`` outcome (either
+        the acceptance probability overflowed 1, the final rejection step
+        rejected, or no predecessor mass was available at some level).
+        """
+        if gamma0 <= 0:
+            raise ParameterError("gamma0 must be positive")
+        self.statistics.draws += 1
+        eta_prime = eta / max(1, 4 * self.unroll.length)
+
+        phi = gamma0
+        word: Word = ()
+        current_states = frozenset(states)
+        for current_level in range(level, 0, -1):
+            beta_prime = (1.0 + beta) ** (current_level - 1) - 1.0
+            symbol_estimates: Dict[Symbol, float] = {}
+            symbol_predecessors: Dict[Symbol, FrozenSet[State]] = {}
+            for symbol in self.unroll.nfa.alphabet:
+                predecessors = self.unroll.predecessors_of_set(
+                    current_states, symbol, current_level
+                )
+                symbol_predecessors[symbol] = predecessors
+                if not predecessors:
+                    symbol_estimates[symbol] = 0.0
+                    continue
+                symbol_estimates[symbol] = self._estimate_union(
+                    predecessors, current_level - 1, beta, eta_prime, beta_prime
+                )
+            total = sum(symbol_estimates.values())
+            if total <= 0.0:
+                self.statistics.failures_no_mass += 1
+                return None
+            symbol = self._choose_symbol(symbol_estimates, total)
+            branch_probability = symbol_estimates[symbol] / total
+            phi /= branch_probability
+            word = (symbol,) + word
+            current_states = symbol_predecessors[symbol]
+
+        # Base case (level 0).
+        if phi > 1.0:
+            self.statistics.failures_phi_overflow += 1
+            return None
+        if self.rng.random() < phi:
+            self.statistics.successes += 1
+            return word
+        self.statistics.failures_rejection += 1
+        return None
+
+    def clear_cache(self) -> None:
+        """Forget memoised union estimates (start of a new sampling batch)."""
+        self._union_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _estimate_union(
+        self,
+        predecessors: FrozenSet[State],
+        level: int,
+        beta: float,
+        eta_prime: float,
+        beta_prime: float,
+    ) -> float:
+        """``AppUnion`` over ``{L(p^level) : p in predecessors}``."""
+        cache_key = (level, predecessors)
+        if self.parameters.scale.reuse_union_estimates:
+            cached = self._union_cache.get(cache_key)
+            if cached is not None:
+                self.statistics.union_cache_hits += 1
+                return cached
+
+        accesses: List[SetAccess] = []
+        for state in sorted(predecessors, key=repr):
+            accesses.append(
+                SetAccess(
+                    oracle=self.unroll.membership_oracle(state),
+                    samples=self.samples.get((state, level), ()),
+                    size_estimate=self.estimates.get((state, level), 0.0),
+                    label=(state, level),
+                )
+            )
+        result = approximate_union(
+            accesses,
+            epsilon=beta,
+            delta=eta_prime,
+            size_slack=beta_prime,
+            parameters=self.parameters,
+            rng=self.rng,
+        )
+        self.statistics.union_calls += 1
+        self.statistics.membership_calls += result.membership_calls
+        if self.parameters.scale.reuse_union_estimates:
+            self._union_cache[cache_key] = result.estimate
+        return result.estimate
+
+    def _choose_symbol(self, estimates: Dict[Symbol, float], total: float) -> Symbol:
+        """Pick a symbol with probability proportional to its union estimate."""
+        point = self.rng.random() * total
+        running = 0.0
+        symbols = list(estimates)
+        for symbol in symbols:
+            running += estimates[symbol]
+            if point <= running:
+                return symbol
+        return symbols[-1]

@@ -1,0 +1,155 @@
+"""Almost-uniform generation of accepted words, built on the FPRAS tables.
+
+The paper's opening observation is the Jerrum–Valiant–Vazirani
+inter-reducibility of approximate counting and almost-uniform sampling for
+self-reducible problems.  Algorithm 3 already materialises everything needed
+to *sample*: per-(state, level) size estimates and sample multisets.  This
+module packages that direction as a reusable generator: after one counting
+pass, each :meth:`UniformWordSampler.sample` call draws a fresh word from
+``L(A_n)`` whose distribution is (close to) uniform — the primitive the
+regular-path-query and probabilistic-database applications consume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.automata.nfa import NFA, Word
+from repro.counting.fpras import NFACounter
+from repro.counting.params import FPRASParameters
+from repro.counting.sampler import SampleDraw
+from repro.errors import EmptyLanguageError, ParameterError
+
+
+@dataclass
+class SamplingReport:
+    """Diagnostics of a batch of uniform-sampling attempts."""
+
+    requested: int
+    produced: int
+    attempts: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.produced / self.attempts
+
+
+class UniformWordSampler:
+    """Draws (almost) uniform words from ``L(A_n)`` using a completed counter.
+
+    Parameters
+    ----------
+    counter:
+        An :class:`~repro.counting.fpras.NFACounter`.  If it has not been run
+        yet, :meth:`prepare` (or the first sampling call) runs it.
+    max_attempts_per_word:
+        Rejection-sampling retry budget per requested word.  The per-attempt
+        success probability is roughly ``2/(3e) ≈ 0.245`` (Theorem 2), so the
+        default of 64 makes failures vanishingly rare on healthy instances.
+    """
+
+    def __init__(
+        self,
+        counter: NFACounter,
+        max_attempts_per_word: int = 64,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if max_attempts_per_word < 1:
+            raise ParameterError("max_attempts_per_word must be positive")
+        self.counter = counter
+        self.max_attempts_per_word = max_attempts_per_word
+        self.rng = rng if rng is not None else counter.rng
+        self._estimate: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_nfa(
+        cls,
+        nfa: NFA,
+        length: int,
+        parameters: Optional[FPRASParameters] = None,
+        max_attempts_per_word: int = 64,
+    ) -> "UniformWordSampler":
+        """Build (and prepare) a sampler for ``L(A_length)`` from scratch."""
+        counter = NFACounter(nfa, length, parameters)
+        sampler = cls(counter, max_attempts_per_word=max_attempts_per_word)
+        sampler.prepare()
+        return sampler
+
+    def prepare(self) -> float:
+        """Run the counting pass if needed; returns the estimate of ``|L(A_n)|``."""
+        if not self.counter.has_run:
+            result = self.counter.run()
+            self._estimate = result.estimate
+        elif self._estimate is None:
+            self._estimate = self._recover_estimate()
+        if self._estimate is None or self._estimate <= 0:
+            raise EmptyLanguageError(
+                "the language slice appears to be empty; nothing to sample"
+            )
+        return self._estimate
+
+    def _recover_estimate(self) -> float:
+        accepting = self.counter.unroll.accepting_live_states()
+        return sum(
+            self.counter.state_estimate(state, self.counter.length)
+            for state in accepting
+        )
+
+    # ------------------------------------------------------------------
+    def sample(self) -> Word:
+        """Draw one word from ``L(A_n)``; raises if every attempt fails."""
+        estimate = self.prepare()
+        unroll = self.counter.unroll
+        accepting = frozenset(unroll.accepting_live_states())
+        if not accepting:
+            raise EmptyLanguageError("no accepting state is live at the final level")
+        parameters = self.counter.parameters
+        beta = parameters.beta(self.counter.length)
+        eta = parameters.eta(self.counter.length, self.counter.nfa.num_states)
+        gamma0 = parameters.gamma0(estimate)
+        drawer = SampleDraw(
+            unroll, self.counter.estimates, self.counter.samples, parameters, self.rng
+        )
+        for _ in range(self.max_attempts_per_word):
+            word = drawer.draw(self.counter.length, accepting, gamma0, beta, eta)
+            if word is not None:
+                return word
+        raise EmptyLanguageError(
+            f"failed to draw a word after {self.max_attempts_per_word} attempts"
+        )
+
+    def sample_many(self, count: int) -> List[Word]:
+        """Draw ``count`` words (independent rejection-sampling attempts)."""
+        return [self.sample() for _ in range(count)]
+
+    def sample_with_report(self, count: int) -> tuple:
+        """Draw up to ``count`` words, returning ``(words, SamplingReport)``.
+
+        Unlike :meth:`sample_many`, per-word failures are not fatal: the
+        report records how many attempts were spent, which the uniformity
+        experiment (E7) uses to measure the empirical acceptance rate.
+        """
+        estimate = self.prepare()
+        unroll = self.counter.unroll
+        accepting = frozenset(unroll.accepting_live_states())
+        parameters = self.counter.parameters
+        beta = parameters.beta(self.counter.length)
+        eta = parameters.eta(self.counter.length, self.counter.nfa.num_states)
+        gamma0 = parameters.gamma0(estimate)
+        drawer = SampleDraw(
+            unroll, self.counter.estimates, self.counter.samples, parameters, self.rng
+        )
+        words: List[Word] = []
+        attempts = 0
+        while len(words) < count and attempts < count * self.max_attempts_per_word:
+            attempts += 1
+            word = drawer.draw(self.counter.length, accepting, gamma0, beta, eta)
+            if word is not None:
+                words.append(word)
+        report = SamplingReport(requested=count, produced=len(words), attempts=attempts)
+        return words, report

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AutomatonError(ReproError):
+    """Raised when an automaton is structurally invalid or misused."""
+
+
+class InvalidTransitionError(AutomatonError):
+    """Raised when a transition references unknown states or symbols."""
+
+
+class EmptyLanguageError(AutomatonError):
+    """Raised when an operation requires a non-empty language slice.
+
+    The main FPRAS, for instance, needs at least one witness word in
+    ``L(q^l)`` to pad a sample multiset; if the slice is empty the pad step
+    cannot be performed and the caller made an inconsistent request.
+    """
+
+
+class RegexSyntaxError(ReproError):
+    """Raised when a regular expression cannot be parsed."""
+
+
+class ParameterError(ReproError):
+    """Raised when FPRAS parameters are inconsistent or out of range."""
+
+
+class SampleExhaustedError(ReproError):
+    """Raised in strict mode when AppUnion consumes more samples than stored.
+
+    The paper treats this as a low-probability failure event (Algorithm 1,
+    line 8).  In ``strict`` consumption mode we surface it as an exception so
+    tests can assert on the paper's bound for its probability; in the default
+    ``cyclic`` mode the estimator silently re-uses samples instead.
+    """
+
+
+class ReductionError(ReproError):
+    """Raised when an application-level reduction to #NFA cannot be built."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the harness when an experiment is misconfigured."""

@@ -1,0 +1,18 @@
+"""Experiment harness: registry, runners and plain-text reporting."""
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
+from repro.harness.reporting import format_series, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "get_experiment",
+    "run_experiment",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,80 @@
+"""Plain-text table and series formatting for experiment output.
+
+The paper contains no plots, so the harness reports everything as aligned
+text tables (rows of dictionaries) and simple series — enough to read off
+"who wins, by roughly what factor, and how it scales".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object, precision: int = 4) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or 0 < abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [_format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render one or more y-series against a shared x-axis as a table."""
+    rows: List[Dict[str, object]] = []
+    for index, x in enumerate(xs):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=title, precision=precision)
+
+
+def format_key_values(values: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(str(key)) for key in values), default=0)
+    for key, value in values.items():
+        lines.append(f"{str(key).ljust(width)} : {_format_value(value)}")
+    return "\n".join(lines)

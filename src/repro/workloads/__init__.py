@@ -1,0 +1,21 @@
+"""Workload generation: reproducible suites of #NFA instances."""
+
+from repro.workloads.generator import (
+    Workload,
+    WorkloadSuite,
+    accuracy_suite,
+    application_suite,
+    scaling_suite_epsilon,
+    scaling_suite_length,
+    scaling_suite_states,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadSuite",
+    "accuracy_suite",
+    "scaling_suite_length",
+    "scaling_suite_states",
+    "scaling_suite_epsilon",
+    "application_suite",
+]

@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+Counting tests keep instances deliberately small (short lengths, few states)
+and use fixed seeds so the statistical assertions are stable; the tolerances
+asserted are intentionally looser than the configured ``epsilon`` because the
+laptop-scale parameters (see ``ParameterScale.practical``) shrink the
+constants in the concentration bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import families
+from repro.automata.nfa import NFA
+from repro.counting.params import FPRASParameters, ParameterScale
+
+
+@pytest.fixture
+def binary_two_state_nfa() -> NFA:
+    """Words over {0,1} that contain at least one '1' (2-state NFA)."""
+    return NFA.build(
+        [
+            ("start", "0", "start"),
+            ("start", "1", "seen"),
+            ("seen", "0", "seen"),
+            ("seen", "1", "seen"),
+        ],
+        initial="start",
+        accepting=["seen"],
+    )
+
+
+@pytest.fixture
+def substring_101_nfa() -> NFA:
+    """Words containing the substring 101 (overlapping predecessor languages)."""
+    return families.substring_nfa("101")
+
+
+@pytest.fixture
+def fibonacci_nfa() -> NFA:
+    """Words with no two consecutive ones (Fibonacci slice counts)."""
+    return families.no_consecutive_ones_nfa()
+
+
+@pytest.fixture
+def suffix_nfa_0110() -> NFA:
+    """Words ending in 0110 (genuinely nondeterministic; DFA blow-up family)."""
+    return families.suffix_nfa("0110")
+
+
+@pytest.fixture
+def ambiguous_union_nfa() -> NFA:
+    """Union of substring automata with heavy overlap between components."""
+    return families.union_of_patterns_nfa(["00", "11"])
+
+
+@pytest.fixture
+def fast_parameters() -> FPRASParameters:
+    """Small, fast, seeded FPRAS parameters for functional (non-statistical) tests."""
+    return FPRASParameters(
+        epsilon=0.5,
+        delta=0.2,
+        scale=ParameterScale.practical(sample_cap=10, union_trial_cap=12),
+        seed=7,
+    )
+
+
+@pytest.fixture
+def accurate_parameters() -> FPRASParameters:
+    """Seeded parameters with enough samples for the statistical accuracy tests."""
+    return FPRASParameters(
+        epsilon=0.3,
+        delta=0.1,
+        scale=ParameterScale.practical(sample_cap=24, union_trial_cap=32),
+        seed=11,
+    )

@@ -1,0 +1,146 @@
+"""Tests for the graph-database / regular-path-query application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.graphdb import (
+    GraphDatabase,
+    RegularPathQuery,
+    RPQCounter,
+)
+from repro.errors import ReductionError
+
+
+@pytest.fixture
+def social_db() -> GraphDatabase:
+    return GraphDatabase.from_edges(
+        [
+            ("alice", "knows", "bob"),
+            ("alice", "knows", "carol"),
+            ("bob", "knows", "carol"),
+            ("carol", "knows", "dave"),
+            ("bob", "worksAt", "acme"),
+            ("carol", "worksAt", "acme"),
+            ("dave", "worksAt", "initech"),
+        ]
+    )
+
+
+class TestGraphDatabase:
+    def test_nodes_and_labels(self, social_db):
+        assert "alice" in social_db.nodes
+        assert "acme" in social_db.nodes
+        assert social_db.labels == ("knows", "worksAt")
+        assert social_db.num_edges == 7
+
+    def test_out_edges(self, social_db):
+        assert len(social_db.out_edges("alice")) == 2
+        assert social_db.out_edges("acme") == []
+
+    def test_as_nfa_acceptance(self, social_db):
+        nfa = social_db.as_nfa("alice", "acme")
+        assert nfa.accepts(("knows", "worksAt"))
+        assert not nfa.accepts(("worksAt",))
+
+    def test_as_nfa_unknown_endpoint(self, social_db):
+        with pytest.raises(ReductionError):
+            social_db.as_nfa("alice", "nobody")
+
+
+class TestRPQCounting:
+    def test_exact_path_count(self, social_db):
+        # alice -(knows)*-> ? -worksAt-> acme with <= 5 edges:
+        #   alice->bob->acme, alice->carol->acme, alice->bob->carol->acme.
+        query = RegularPathQuery("alice", "(<knows>)*<worksAt>", "acme", max_length=5)
+        counter = RPQCounter(social_db, query)
+        assert counter.count_exact() == 3
+
+    def test_exact_length_semantics(self, social_db):
+        query = RegularPathQuery(
+            "alice", "(<knows>)*<worksAt>", "acme", max_length=2, exact_length=True
+        )
+        counter = RPQCounter(social_db, query)
+        assert counter.count_exact() == 2  # only the two length-2 paths
+
+    def test_bounded_length_includes_shorter_paths(self, social_db):
+        bounded = RPQCounter(
+            social_db,
+            RegularPathQuery("alice", "(<knows>)*<worksAt>", "acme", max_length=3),
+        )
+        exact_only = RPQCounter(
+            social_db,
+            RegularPathQuery(
+                "alice", "(<knows>)*<worksAt>", "acme", max_length=3, exact_length=True
+            ),
+        )
+        assert bounded.count_exact() >= exact_only.count_exact()
+
+    def test_label_semantics_counts_label_sequences(self, social_db):
+        # Under label semantics the two length-2 paths share the label word
+        # (knows, worksAt) and are counted once.
+        query = RegularPathQuery("alice", "(<knows>)*<worksAt>", "acme", max_length=2)
+        paths = RPQCounter(social_db, query, semantics="paths").count_exact()
+        labels = RPQCounter(social_db, query, semantics="labels").count_exact()
+        assert paths == 2
+        assert labels == 1
+
+    def test_fpras_matches_exact_on_small_instance(self, social_db):
+        query = RegularPathQuery("alice", "(<knows>)*<worksAt>", "acme", max_length=5)
+        counter = RPQCounter(social_db, query)
+        exact = counter.count_exact()
+        result = counter.count_fpras(epsilon=0.3, seed=9)
+        assert abs(result.estimate - exact) / exact < 0.35
+
+    def test_unknown_semantics_rejected(self, social_db):
+        query = RegularPathQuery("alice", "<knows>", "bob", max_length=1)
+        with pytest.raises(ReductionError):
+            RPQCounter(social_db, query, semantics="bogus")
+
+    def test_empty_database_rejected(self):
+        empty = GraphDatabase()
+        query = RegularPathQuery("a", "<x>", "b", max_length=2)
+        with pytest.raises(ReductionError):
+            RPQCounter(empty, query).product_automaton()
+
+    def test_no_matching_paths(self, social_db):
+        query = RegularPathQuery("dave", "(<knows>)+", "alice", max_length=4)
+        counter = RPQCounter(social_db, query)
+        assert counter.count_exact() == 0
+
+    def test_reduction_size_is_linear_in_db_and_query(self, social_db):
+        query = RegularPathQuery("alice", "(<knows>)*<worksAt>", "acme", max_length=5)
+        counter = RPQCounter(social_db, query)
+        sizes = counter.reduction_size()
+        regex_states = 4  # small compiled pattern
+        assert sizes["product_states"] <= (len(social_db.nodes) + 1) * (regex_states + 2)
+        assert sizes["database_edges"] == social_db.num_edges
+
+    def test_product_automaton_cached(self, social_db):
+        query = RegularPathQuery("alice", "<knows>", "bob", max_length=1)
+        counter = RPQCounter(social_db, query)
+        assert counter.product_automaton() is counter.product_automaton()
+
+
+class TestRPQSampling:
+    def test_sampled_answers_are_valid_paths(self, social_db):
+        query = RegularPathQuery("alice", "(<knows>)*<worksAt>", "acme", max_length=5)
+        counter = RPQCounter(social_db, query)
+        answers = counter.sample_answers(5, epsilon=0.4, seed=21)
+        assert len(answers) == 5
+        for path in answers:
+            assert path, "paths must be non-empty"
+            assert path[0][0] == "alice"
+            assert path[-1][2] == "acme"
+            assert path[-1][1] == "worksAt"
+            for previous, following in zip(path, path[1:]):
+                assert previous[2] == following[0]
+            for edge in path:
+                assert edge in social_db.edges
+
+    def test_sampled_answers_cover_multiple_paths(self, social_db):
+        query = RegularPathQuery("alice", "(<knows>)*<worksAt>", "acme", max_length=5)
+        counter = RPQCounter(social_db, query)
+        answers = counter.sample_answers(30, epsilon=0.4, seed=5)
+        distinct = {tuple(path) for path in answers}
+        assert len(distinct) >= 2

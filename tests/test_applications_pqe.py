@@ -1,0 +1,177 @@
+"""Tests for probabilistic query evaluation (PQE) via the #NFA reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.pqe import (
+    PathQuery,
+    PQEReduction,
+    ProbabilisticDatabase,
+    evaluate_path_query,
+    exact_probability,
+    montecarlo_probability,
+)
+from repro.errors import ReductionError
+
+
+@pytest.fixture
+def simple_db() -> ProbabilisticDatabase:
+    database = ProbabilisticDatabase()
+    database.add_fact("R", "a", "b", 0.5)
+    database.add_fact("R", "a", "c", 0.75)
+    database.add_fact("S", "b", "z", 0.5)
+    database.add_fact("S", "c", "z", 0.25)
+    return database
+
+
+@pytest.fixture
+def two_hop_query() -> PathQuery:
+    return PathQuery(("R", "S"))
+
+
+class TestModel:
+    def test_add_fact_validates_probability(self):
+        database = ProbabilisticDatabase()
+        with pytest.raises(ReductionError):
+            database.add_fact("R", "a", "b", 1.5)
+
+    def test_num_facts_and_domain(self, simple_db):
+        assert simple_db.num_facts == 4
+        assert simple_db.domain() == frozenset({"a", "b", "c", "z"})
+
+    def test_query_requires_atoms(self):
+        with pytest.raises(ReductionError):
+            PathQuery(())
+
+    def test_query_must_be_self_join_free(self):
+        with pytest.raises(ReductionError):
+            PathQuery(("R", "R"))
+
+    def test_query_length(self, two_hop_query):
+        assert two_hop_query.length == 2
+
+
+class TestReferenceEvaluators:
+    def test_exact_probability_single_fact(self):
+        database = ProbabilisticDatabase()
+        database.add_fact("R", "a", "b", 0.3)
+        assert exact_probability(database, PathQuery(("R",))) == pytest.approx(0.3)
+
+    def test_exact_probability_independent_or(self):
+        # Two independent witnesses: P = 1 - (1-p)(1-q).
+        database = ProbabilisticDatabase()
+        database.add_fact("R", "a", "b", 0.5)
+        database.add_fact("R", "c", "d", 0.25)
+        assert exact_probability(database, PathQuery(("R",))) == pytest.approx(
+            1 - 0.5 * 0.75
+        )
+
+    def test_exact_probability_two_hops(self, simple_db, two_hop_query):
+        # P[some R(a,x) and S(x,z) both present] by direct computation:
+        # path via b present w.p. 0.25, via c w.p. 0.1875; independent fact
+        # sets but joint inclusion-exclusion handled by enumeration.
+        value = exact_probability(simple_db, two_hop_query)
+        expected = 1 - (1 - 0.5 * 0.5) * (1 - 0.75 * 0.25)
+        assert value == pytest.approx(expected)
+
+    def test_exact_probability_refuses_large_instances(self):
+        database = ProbabilisticDatabase()
+        for index in range(30):
+            database.add_fact("R", f"a{index}", f"b{index}", 0.5)
+        with pytest.raises(ReductionError):
+            exact_probability(database, PathQuery(("R",)))
+
+    def test_montecarlo_close_to_exact(self, simple_db, two_hop_query):
+        exact = exact_probability(simple_db, two_hop_query)
+        estimate = montecarlo_probability(simple_db, two_hop_query, num_samples=20000, seed=1)
+        assert abs(estimate - exact) < 0.02
+
+    def test_unsatisfiable_query_probability_zero(self, simple_db):
+        query = PathQuery(("S", "R"))  # S ends at z, no R facts start at z
+        assert exact_probability(simple_db, query) == 0.0
+
+
+class TestReduction:
+    def test_requires_relevant_facts(self):
+        database = ProbabilisticDatabase()
+        database.add_fact("R", "a", "b", 0.5)
+        with pytest.raises(ReductionError):
+            PQEReduction(database, PathQuery(("T",)))
+
+    def test_bits_must_be_positive(self, simple_db, two_hop_query):
+        with pytest.raises(ReductionError):
+            PQEReduction(simple_db, two_hop_query, bits=0)
+
+    def test_threshold_rounding(self, simple_db, two_hop_query):
+        reduction = PQEReduction(simple_db, two_hop_query, bits=2)
+        assert reduction.threshold(0.5) == 2
+        assert reduction.threshold(0.75) == 3
+        assert reduction.rounded_probability(0.6) == pytest.approx(0.5)
+
+    def test_word_length(self, simple_db, two_hop_query):
+        reduction = PQEReduction(simple_db, two_hop_query, bits=3)
+        assert reduction.word_length == 12
+
+    def test_exact_rounded_probability_matches_enumeration(self, simple_db, two_hop_query):
+        # All probabilities in simple_db are exactly representable with 2 bits,
+        # so the coin-word count must equal the true probability.
+        reduction = PQEReduction(simple_db, two_hop_query, bits=2)
+        assert reduction.exact_rounded_probability() == pytest.approx(
+            exact_probability(simple_db, two_hop_query)
+        )
+
+    def test_single_atom_reduction(self):
+        database = ProbabilisticDatabase()
+        database.add_fact("R", "a", "b", 0.5)
+        database.add_fact("R", "c", "d", 0.5)
+        reduction = PQEReduction(database, PathQuery(("R",)), bits=1)
+        assert reduction.exact_rounded_probability() == pytest.approx(0.75)
+
+    def test_probability_one_and_zero_facts(self):
+        database = ProbabilisticDatabase()
+        database.add_fact("R", "a", "b", 1.0)
+        database.add_fact("S", "b", "c", 0.0)
+        reduction = PQEReduction(database, PathQuery(("R", "S")), bits=1)
+        assert reduction.exact_rounded_probability() == pytest.approx(0.0)
+
+    def test_reduction_size_report(self, simple_db, two_hop_query):
+        reduction = PQEReduction(simple_db, two_hop_query, bits=2)
+        sizes = reduction.reduction_size()
+        assert sizes["facts"] == 4
+        assert sizes["word_length"] == 8
+        assert sizes["nfa_states"] > 0
+
+
+class TestEndToEnd:
+    def test_fpras_close_to_exact(self, simple_db, two_hop_query):
+        exact = exact_probability(simple_db, two_hop_query)
+        result = evaluate_path_query(
+            simple_db, two_hop_query, method="fpras", epsilon=0.3, bits=2, seed=17
+        )
+        assert result.method == "fpras"
+        assert abs(result.probability - exact) / exact < 0.35
+        assert result.nfa_states > 0
+        assert result.word_length == 8
+
+    def test_exact_method(self, simple_db, two_hop_query):
+        result = evaluate_path_query(simple_db, two_hop_query, method="exact")
+        assert result.probability == pytest.approx(exact_probability(simple_db, two_hop_query))
+
+    def test_exact_nfa_method(self, simple_db, two_hop_query):
+        result = evaluate_path_query(simple_db, two_hop_query, method="exact-nfa", bits=2)
+        assert result.probability == pytest.approx(exact_probability(simple_db, two_hop_query))
+
+    def test_montecarlo_method(self, simple_db, two_hop_query):
+        result = evaluate_path_query(
+            simple_db, two_hop_query, method="montecarlo", num_samples=5000, seed=3
+        )
+        assert 0.0 <= result.probability <= 1.0
+
+    def test_unknown_method_rejected(self, simple_db, two_hop_query):
+        with pytest.raises(ReductionError):
+            evaluate_path_query(simple_db, two_hop_query, method="bogus")
+
+    def test_result_absolute_error_helper(self, simple_db, two_hop_query):
+        result = evaluate_path_query(simple_db, two_hop_query, method="exact")
+        assert result.absolute_error(result.probability) == 0.0

@@ -1,0 +1,133 @@
+"""Tests for probabilistic graph homomorphism and leakage estimation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.applications.leakage import estimate_leakage_bits
+from repro.applications.prob_graph import (
+    LayeredProbabilisticGraph,
+    homomorphism_probability,
+)
+from repro.automata import families
+from repro.automata.exact import count_exact
+from repro.errors import ReductionError
+
+
+@pytest.fixture
+def diamond_graph() -> LayeredProbabilisticGraph:
+    graph = LayeredProbabilisticGraph()
+    graph.add_layer(["s"])
+    graph.add_layer(["m1", "m2"])
+    graph.add_layer(["t"])
+    graph.add_edge(0, "s", "m1", 0.5)
+    graph.add_edge(0, "s", "m2", 0.5)
+    graph.add_edge(1, "m1", "t", 0.5)
+    graph.add_edge(1, "m2", "t", 0.75)
+    return graph
+
+
+class TestLayeredGraphModel:
+    def test_add_layer_returns_index(self):
+        graph = LayeredProbabilisticGraph()
+        assert graph.add_layer(["a"]) == 0
+        assert graph.add_layer(["b"]) == 1
+        assert graph.num_layers == 2
+        assert graph.path_length == 1
+
+    def test_add_edge_validates_layers(self):
+        graph = LayeredProbabilisticGraph()
+        graph.add_layer(["a"])
+        graph.add_layer(["b"])
+        with pytest.raises(ReductionError):
+            graph.add_edge(1, "b", "a", 0.5)  # no successor layer
+        with pytest.raises(ReductionError):
+            graph.add_edge(0, "ghost", "b", 0.5)
+        with pytest.raises(ReductionError):
+            graph.add_edge(0, "a", "ghost", 0.5)
+        with pytest.raises(ReductionError):
+            graph.add_edge(0, "a", "b", 1.5)
+
+    def test_as_probabilistic_database(self, diamond_graph):
+        database, query = diamond_graph.as_probabilistic_database()
+        assert query.length == 2
+        assert database.num_facts == 4
+
+    def test_as_database_requires_two_layers(self):
+        graph = LayeredProbabilisticGraph()
+        graph.add_layer(["only"])
+        with pytest.raises(ReductionError):
+            graph.as_probabilistic_database()
+
+
+class TestHomomorphismProbability:
+    def test_exact_probability_diamond(self, diamond_graph):
+        # P[path exists] = 1 - (1 - 0.25)(1 - 0.375) = 0.53125
+        assert diamond_graph.exact_probability() == pytest.approx(0.53125)
+
+    def test_exact_enumeration_guard(self):
+        graph = LayeredProbabilisticGraph()
+        graph.add_layer([f"a{i}" for i in range(12)])
+        graph.add_layer([f"b{i}" for i in range(12)])
+        for i in range(12):
+            for j in range(2):
+                graph.add_edge(0, f"a{i}", f"b{(i + j) % 12}", 0.5)
+        with pytest.raises(ReductionError):
+            graph.exact_probability()
+
+    def test_montecarlo_close_to_exact(self, diamond_graph):
+        estimate = diamond_graph.montecarlo_probability(num_samples=20000, seed=5)
+        assert abs(estimate - diamond_graph.exact_probability()) < 0.02
+
+    def test_fpras_close_to_exact(self, diamond_graph):
+        exact = diamond_graph.exact_probability()
+        result = homomorphism_probability(diamond_graph, method="fpras", epsilon=0.3, seed=7)
+        assert abs(result.probability - exact) / exact < 0.35
+
+    def test_exact_nfa_matches_exact_graph(self, diamond_graph):
+        via_nfa = homomorphism_probability(diamond_graph, method="exact-nfa", bits=2)
+        assert via_nfa.probability == pytest.approx(diamond_graph.exact_probability())
+
+    def test_direct_graph_methods(self, diamond_graph):
+        exact = homomorphism_probability(diamond_graph, method="exact-graph")
+        montecarlo = homomorphism_probability(
+            diamond_graph, method="montecarlo-graph", num_samples=5000, seed=3
+        )
+        assert exact.probability == pytest.approx(0.53125)
+        assert abs(montecarlo.probability - 0.53125) < 0.05
+
+
+class TestLeakage:
+    def test_exact_leakage_is_log2_of_count(self):
+        nfa = families.substring_nfa("11")
+        length = 8
+        expected = math.log2(count_exact(nfa, length))
+        estimate = estimate_leakage_bits(nfa, length, method="exact")
+        assert estimate.leakage_bits == pytest.approx(expected)
+        assert estimate.method == "exact"
+
+    def test_fpras_leakage_within_additive_bound(self):
+        nfa = families.substring_nfa("11")
+        length = 8
+        exact = count_exact(nfa, length)
+        estimate = estimate_leakage_bits(nfa, length, method="fpras", epsilon=0.3, seed=5)
+        # (1+eps)-multiplicative count error -> log2(1+eps)-additive bits error,
+        # plus slack for the scaled parameters.
+        assert estimate.absolute_error_bits(exact) < 1.0
+
+    def test_leakage_of_single_word_language_is_zero(self):
+        from repro.automata.nfa import NFA
+
+        nfa = NFA.build([("a", "0", "b"), ("b", "0", "c")], initial="a", accepting=["c"])
+        estimate = estimate_leakage_bits(nfa, 2, method="exact")
+        assert estimate.leakage_bits == 0.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_leakage_bits(families.substring_nfa("1"), 4, method="bogus")
+
+    def test_all_words_leak_n_bits(self):
+        estimate = estimate_leakage_bits(families.all_words_nfa(), 10, method="exact")
+        assert estimate.leakage_bits == pytest.approx(10.0)

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_defaults(self):
+        args = build_parser().parse_args(["count", "parity"])
+        assert args.length == 10
+        assert args.epsilon == 0.3
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "not_a_family"])
+
+    def test_bad_family_arg_format(self):
+        with pytest.raises(SystemExit):
+            main(["count", "parity", "--family-arg", "oops"])
+
+
+class TestCommands:
+    def test_count_exact_only(self, capsys):
+        assert main(["count", "parity", "-n", "6", "--exact"]) == 0
+        output = capsys.readouterr().out
+        assert "exact" in output
+        assert "32" in output  # words of length 6 with an even number of ones
+
+    def test_count_compare(self, capsys):
+        assert main(
+            ["count", "no_consecutive_ones", "-n", "6", "--compare", "--seed", "3"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "fpras" in output and "exact" in output
+        assert "rel_error" in output
+
+    def test_count_with_family_arg(self, capsys):
+        assert main(
+            ["count", "substring", "--family-arg", "pattern=11", "-n", "6", "--exact"]
+        ) == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_count_fpras_only(self, capsys):
+        assert main(["count", "parity", "-n", "5", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "samples_per_state" in output
+
+    def test_sample_command(self, capsys):
+        assert main(
+            ["sample", "no_consecutive_ones", "-n", "6", "-c", "3", "--seed", "2"]
+        ) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        words = output[-3:]
+        assert len(words) == 3
+        for word in words:
+            assert len(word) == 6
+            assert "11" not in word
+
+    def test_families_command(self, capsys):
+        assert main(["families"]) == 0
+        output = capsys.readouterr().out
+        assert "substring" in output and "ladder" in output
+
+    def test_params_command(self, capsys):
+        assert main(["params", "-m", "10", "-n", "20", "--epsilon", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "ns_paper" in output
+        assert "ns_operational" in output
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "E1"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output
+        assert "elapsed" in output
+
+    def test_experiment_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E99"])

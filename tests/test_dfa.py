@@ -1,0 +1,193 @@
+"""Unit tests for DFAs, determinisation and minimisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import families
+from repro.automata.dfa import DFA, determinize, equivalent, minimize
+from repro.automata.exact import count_exact
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError
+
+
+@pytest.fixture
+def even_zeros_dfa() -> DFA:
+    """Words with an even number of zeros."""
+    return DFA(
+        states=frozenset({"even", "odd"}),
+        initial="even",
+        transitions={
+            ("even", "0"): "odd",
+            ("odd", "0"): "even",
+            ("even", "1"): "even",
+            ("odd", "1"): "odd",
+        },
+        accepting=frozenset({"even"}),
+        alphabet=("0", "1"),
+    )
+
+
+class TestDFABasics:
+    def test_accepts(self, even_zeros_dfa):
+        assert even_zeros_dfa.accepts("00")
+        assert even_zeros_dfa.accepts("1100")
+        assert not even_zeros_dfa.accepts("0")
+
+    def test_accepts_empty_word(self, even_zeros_dfa):
+        assert even_zeros_dfa.accepts("")
+
+    def test_partial_dfa_rejects_on_missing_transition(self):
+        dfa = DFA(
+            states=frozenset({"a", "b"}),
+            initial="a",
+            transitions={("a", "0"): "b"},
+            accepting=frozenset({"b"}),
+            alphabet=("0", "1"),
+        )
+        assert dfa.accepts("0")
+        assert not dfa.accepts("1")
+        assert not dfa.accepts("00")
+
+    def test_invalid_initial_rejected(self):
+        with pytest.raises(AutomatonError):
+            DFA(
+                states=frozenset({"a"}),
+                initial="zzz",
+                transitions={},
+                accepting=frozenset(),
+                alphabet=("0",),
+            )
+
+    def test_invalid_transition_symbol_rejected(self):
+        with pytest.raises(AutomatonError):
+            DFA(
+                states=frozenset({"a"}),
+                initial="a",
+                transitions={("a", "x"): "a"},
+                accepting=frozenset(),
+                alphabet=("0",),
+            )
+
+    def test_completed_adds_dead_state(self):
+        dfa = DFA(
+            states=frozenset({"a"}),
+            initial="a",
+            transitions={("a", "0"): "a"},
+            accepting=frozenset({"a"}),
+            alphabet=("0", "1"),
+        )
+        complete = dfa.completed()
+        assert complete.num_states == 2
+        assert all((state, symbol) in complete.transitions for state in complete.states for symbol in complete.alphabet)
+
+    def test_completed_noop_when_already_complete(self, even_zeros_dfa):
+        assert even_zeros_dfa.completed() is even_zeros_dfa
+
+    def test_complement_swaps_acceptance(self, even_zeros_dfa):
+        complement = even_zeros_dfa.complement()
+        for word in ("", "0", "00", "101", "0110"):
+            assert complement.accepts(word) != even_zeros_dfa.accepts(word)
+
+    def test_to_nfa_preserves_language(self, even_zeros_dfa):
+        nfa = even_zeros_dfa.to_nfa()
+        for word in ("", "0", "00", "0101", "111"):
+            assert nfa.accepts(word) == even_zeros_dfa.accepts(word)
+
+
+class TestCounting:
+    def test_count_slice_even_zeros(self, even_zeros_dfa):
+        # Words of length 4 with an even number of zeros: C(4,0)+C(4,2)+C(4,4) = 8.
+        assert even_zeros_dfa.count_slice(4) == 8
+
+    def test_count_slice_zero_length(self, even_zeros_dfa):
+        assert even_zeros_dfa.count_slice(0) == 1
+
+    def test_count_slice_negative_rejected(self, even_zeros_dfa):
+        with pytest.raises(ValueError):
+            even_zeros_dfa.count_slice(-1)
+
+    def test_count_slice_matches_enumeration(self, even_zeros_dfa):
+        nfa = even_zeros_dfa.to_nfa()
+        for length in range(7):
+            assert even_zeros_dfa.count_slice(length) == len(nfa.language_slice(length))
+
+    def test_transfer_matrix_row_sums(self, even_zeros_dfa):
+        matrix, index = even_zeros_dfa.transfer_matrix()
+        assert matrix.shape == (2, 2)
+        # Each state has exactly one successor per symbol: row sums equal |alphabet|.
+        assert matrix.sum(axis=1).tolist() == [2.0, 2.0]
+        assert set(index) == set(even_zeros_dfa.states)
+
+
+class TestDeterminize:
+    @pytest.mark.parametrize(
+        "nfa_builder, lengths",
+        [
+            (lambda: families.substring_nfa("101"), range(7)),
+            (lambda: families.suffix_nfa("011"), range(7)),
+            (lambda: families.union_of_patterns_nfa(["00", "11"]), range(6)),
+            (lambda: families.no_consecutive_ones_nfa(), range(8)),
+        ],
+    )
+    def test_determinize_preserves_slice_counts(self, nfa_builder, lengths):
+        nfa = nfa_builder()
+        dfa = determinize(nfa)
+        for length in lengths:
+            assert dfa.count_slice(length) == count_exact(nfa, length)
+
+    def test_determinize_preserves_acceptance(self, substring_101_nfa):
+        dfa = determinize(substring_101_nfa)
+        for word in ("101", "000101", "010011", "111", "0"):
+            assert dfa.accepts(word) == substring_101_nfa.accepts(word)
+
+    def test_determinize_blowup_for_kth_symbol_from_end(self):
+        # "the 4th symbol from the end is 1": the canonical exponential
+        # determinisation example — the DFA must remember the last 4 symbols.
+        from repro.automata.regex import compile_regex
+
+        nfa = compile_regex("(0|1)*1(0|1){3}")
+        dfa = determinize(nfa)
+        assert dfa.num_states >= 2**4
+        assert dfa.num_states > nfa.num_states
+
+    def test_determinize_is_deterministic(self, suffix_nfa_0110):
+        dfa = determinize(suffix_nfa_0110)
+        seen = set()
+        for (state, symbol) in dfa.transitions:
+            assert (state, symbol) not in seen
+            seen.add((state, symbol))
+
+
+class TestMinimize:
+    def test_minimize_reduces_redundant_states(self):
+        # Two interchangeable accepting states collapse to one.
+        nfa = NFA.build(
+            [
+                ("a", "0", "b"),
+                ("a", "1", "c"),
+                ("b", "0", "b"),
+                ("b", "1", "b"),
+                ("c", "0", "c"),
+                ("c", "1", "c"),
+            ],
+            initial="a",
+            accepting=["b", "c"],
+        )
+        minimal = minimize(determinize(nfa))
+        # Minimal DFA: initial + sink-accept + (possibly) dead state.
+        assert minimal.num_states <= 3
+
+    def test_minimize_preserves_language(self, suffix_nfa_0110):
+        dfa = determinize(suffix_nfa_0110)
+        minimal = minimize(dfa)
+        assert equivalent(dfa, minimal, max_length=9)
+
+    def test_minimize_does_not_grow(self, substring_101_nfa):
+        dfa = determinize(substring_101_nfa)
+        assert minimize(dfa).num_states <= dfa.completed().num_states
+
+    def test_equivalent_detects_difference(self):
+        first = determinize(families.substring_nfa("101"))
+        second = determinize(families.substring_nfa("111"))
+        assert not equivalent(first, second, max_length=6)

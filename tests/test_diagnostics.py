@@ -1,0 +1,112 @@
+"""Tests for the Inv-1 / Inv-2 invariant diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import families
+from repro.counting.diagnostics import (
+    EstimateCheck,
+    check_estimates,
+    check_invariants,
+    check_samples,
+)
+from repro.counting.fpras import FPRASParameters, NFACounter
+from repro.counting.params import ParameterScale
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def completed_counter(accurate_parameters):
+    counter = NFACounter(families.no_consecutive_ones_nfa(), 7, accurate_parameters)
+    counter.run()
+    return counter
+
+
+class TestEstimateChecks:
+    def test_requires_completed_counter(self, fibonacci_nfa, fast_parameters):
+        counter = NFACounter(fibonacci_nfa, 4, fast_parameters)
+        with pytest.raises(ParameterError):
+            check_estimates(counter)
+
+    def test_checks_cover_all_live_pairs(self, completed_counter):
+        checks = check_estimates(completed_counter)
+        live_pairs = sum(
+            len(completed_counter.unroll.live_states(level))
+            for level in range(completed_counter.length + 1)
+        )
+        assert len(checks) == live_pairs
+
+    def test_inv1_holds_on_well_behaved_instance(self, completed_counter):
+        report = check_invariants(completed_counter)
+        assert report.inv1_fraction >= 0.9
+        assert report.worst_estimate_ratio < 2.0
+
+    def test_estimate_check_ratio_and_holds(self):
+        check = EstimateCheck(state="q", level=3, exact=100, estimate=120.0, allowed_factor=1.3)
+        assert check.ratio == pytest.approx(1.2)
+        assert check.holds
+        tight = EstimateCheck(state="q", level=3, exact=100, estimate=150.0, allowed_factor=1.3)
+        assert not tight.holds
+
+    def test_empty_slice_handling(self):
+        check = EstimateCheck(state="q", level=2, exact=0, estimate=0.0, allowed_factor=1.5)
+        assert check.holds
+        bad = EstimateCheck(state="q", level=2, exact=0, estimate=3.0, allowed_factor=1.5)
+        assert not bad.holds
+        assert bad.ratio == float("inf")
+
+    def test_custom_allowed_factor(self, completed_counter):
+        loose = check_estimates(completed_counter, allowed_factor=10.0)
+        assert all(check.holds for check in loose)
+
+
+class TestSampleChecks:
+    def test_requires_completed_counter(self, fibonacci_nfa, fast_parameters):
+        counter = NFACounter(fibonacci_nfa, 4, fast_parameters)
+        with pytest.raises(ParameterError):
+            check_samples(counter)
+
+    def test_sample_checks_report_tv(self, completed_counter):
+        checks = check_samples(completed_counter)
+        assert checks
+        for check in checks:
+            assert 0.0 <= check.tv_distance <= 1.0
+            assert check.sample_size > 0
+            assert check.slice_size > 0
+
+    def test_large_slices_skipped(self, completed_counter):
+        checks = check_samples(completed_counter, max_slice_size=2)
+        assert all(2 ** check.level <= 2 for check in checks)
+
+    def test_excess_tv_moderate(self, completed_counter):
+        report = check_invariants(completed_counter)
+        # With 24 stored samples the noise floor is high; the excess above it
+        # should stay moderate on this easy instance.
+        assert report.max_excess_tv <= 0.5
+
+
+class TestReport:
+    def test_summary_keys(self, completed_counter):
+        summary = check_invariants(completed_counter).summary()
+        assert set(summary) == {
+            "pairs_checked",
+            "inv1_fraction",
+            "worst_estimate_ratio",
+            "sample_multisets_checked",
+            "max_excess_tv",
+        }
+
+    def test_violations_listed(self, completed_counter):
+        report = check_invariants(completed_counter, allowed_factor=1.0000001)
+        # With an (effectively) zero-width band most non-trivial estimates violate.
+        assert len(report.estimate_violations) >= 0
+        assert report.inv1_fraction <= 1.0
+
+    def test_empty_report_defaults(self):
+        from repro.counting.diagnostics import InvariantReport
+
+        report = InvariantReport()
+        assert report.inv1_fraction == 1.0
+        assert report.max_excess_tv == 0.0
+        assert report.worst_estimate_ratio == 1.0

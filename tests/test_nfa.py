@@ -1,0 +1,319 @@
+"""Unit tests for the core NFA model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import (
+    BINARY_ALPHABET,
+    NFA,
+    as_word,
+    word_from_string,
+    word_to_string,
+)
+from repro.errors import AutomatonError, InvalidTransitionError
+
+
+# ----------------------------------------------------------------------
+# Word helpers
+# ----------------------------------------------------------------------
+class TestWordHelpers:
+    def test_word_from_string_splits_characters(self):
+        assert word_from_string("0110") == ("0", "1", "1", "0")
+
+    def test_word_from_string_empty(self):
+        assert word_from_string("") == ()
+
+    def test_word_to_string_roundtrip(self):
+        assert word_to_string(word_from_string("10101")) == "10101"
+
+    def test_as_word_accepts_string(self):
+        assert as_word("01") == ("0", "1")
+
+    def test_as_word_accepts_tuple(self):
+        assert as_word(("a", "b")) == ("a", "b")
+
+    def test_as_word_accepts_list(self):
+        assert as_word(["x", "y"]) == ("x", "y")
+
+
+# ----------------------------------------------------------------------
+# Construction and validation
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_build_infers_states_and_alphabet(self):
+        nfa = NFA.build([("a", "x", "b"), ("b", "y", "a")], initial="a", accepting=["b"])
+        assert nfa.states == frozenset({"a", "b"})
+        assert nfa.alphabet == ("x", "y")
+
+    def test_build_uses_binary_alphabet_when_no_transitions(self):
+        nfa = NFA.build([], initial="a", accepting=["a"])
+        assert nfa.alphabet == BINARY_ALPHABET
+
+    def test_build_accepts_extra_states(self):
+        nfa = NFA.build([("a", "0", "b")], initial="a", accepting=["b"], states=["c"])
+        assert "c" in nfa.states
+
+    def test_missing_initial_state_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA(
+                states=frozenset({"a"}),
+                initial="zzz",
+                transitions=frozenset(),
+                accepting=frozenset(),
+            )
+
+    def test_unknown_accepting_state_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA(
+                states=frozenset({"a"}),
+                initial="a",
+                transitions=frozenset(),
+                accepting=frozenset({"b"}),
+            )
+
+    def test_transition_with_unknown_state_rejected(self):
+        with pytest.raises(InvalidTransitionError):
+            NFA(
+                states=frozenset({"a"}),
+                initial="a",
+                transitions=frozenset({("a", "0", "ghost")}),
+                accepting=frozenset(),
+            )
+
+    def test_transition_with_unknown_symbol_rejected(self):
+        with pytest.raises(InvalidTransitionError):
+            NFA(
+                states=frozenset({"a"}),
+                initial="a",
+                transitions=frozenset({("a", "z", "a")}),
+                accepting=frozenset(),
+                alphabet=("0", "1"),
+            )
+
+    def test_empty_state_set_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA(states=frozenset(), initial="a", transitions=frozenset(), accepting=frozenset())
+
+    def test_duplicate_alphabet_symbols_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA(
+                states=frozenset({"a"}),
+                initial="a",
+                transitions=frozenset(),
+                accepting=frozenset(),
+                alphabet=("0", "0"),
+            )
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFA(
+                states=frozenset({"a"}),
+                initial="a",
+                transitions=frozenset(),
+                accepting=frozenset(),
+                alphabet=(),
+            )
+
+    def test_equality_and_hash(self, binary_two_state_nfa):
+        clone = NFA(
+            states=binary_two_state_nfa.states,
+            initial=binary_two_state_nfa.initial,
+            transitions=binary_two_state_nfa.transitions,
+            accepting=binary_two_state_nfa.accepting,
+            alphabet=binary_two_state_nfa.alphabet,
+        )
+        assert clone == binary_two_state_nfa
+        assert hash(clone) == hash(binary_two_state_nfa)
+
+    def test_inequality_with_other_types(self, binary_two_state_nfa):
+        assert binary_two_state_nfa != "not an nfa"
+
+    def test_describe_reports_sizes(self, binary_two_state_nfa):
+        info = binary_two_state_nfa.describe()
+        assert info["states"] == 2
+        assert info["transitions"] == 4
+        assert info["alphabet_size"] == 2
+
+
+# ----------------------------------------------------------------------
+# Transition structure
+# ----------------------------------------------------------------------
+class TestTransitions:
+    def test_successors(self, binary_two_state_nfa):
+        assert binary_two_state_nfa.successors("start", "1") == frozenset({"seen"})
+        assert binary_two_state_nfa.successors("start", "0") == frozenset({"start"})
+
+    def test_successors_missing_returns_empty(self, binary_two_state_nfa):
+        assert binary_two_state_nfa.successors("seen", "x") == frozenset()
+
+    def test_predecessors_matches_paper_pred(self, binary_two_state_nfa):
+        assert binary_two_state_nfa.predecessors("seen", "1") == frozenset({"start", "seen"})
+        assert binary_two_state_nfa.predecessors("start", "1") == frozenset()
+
+    def test_step_over_state_set(self, binary_two_state_nfa):
+        image = binary_two_state_nfa.step({"start", "seen"}, "0")
+        assert image == frozenset({"start", "seen"})
+
+    def test_num_properties(self, binary_two_state_nfa):
+        assert binary_two_state_nfa.num_states == 2
+        assert binary_two_state_nfa.num_transitions == 4
+
+
+# ----------------------------------------------------------------------
+# Simulation / acceptance
+# ----------------------------------------------------------------------
+class TestAcceptance:
+    def test_accepts_string_form(self, binary_two_state_nfa):
+        assert binary_two_state_nfa.accepts("0001")
+        assert not binary_two_state_nfa.accepts("0000")
+
+    def test_accepts_tuple_form(self, binary_two_state_nfa):
+        assert binary_two_state_nfa.accepts(("1",))
+
+    def test_empty_word_acceptance(self, binary_two_state_nfa):
+        assert not binary_two_state_nfa.accepts("")
+        accepting_initial = NFA.build([("a", "0", "a")], initial="a", accepting=["a"])
+        assert accepting_initial.accepts("")
+
+    def test_reachable_states_prefix_trace(self, binary_two_state_nfa):
+        trace = binary_two_state_nfa.run_prefixes("01")
+        assert trace[0] == frozenset({"start"})
+        assert trace[1] == frozenset({"start"})
+        assert trace[2] == frozenset({"seen"})
+
+    def test_reachable_states_dead_end(self):
+        nfa = NFA.build([("a", "0", "b")], initial="a", accepting=["b"])
+        assert nfa.reachable_states("1") == frozenset()
+        assert not nfa.accepts("1")
+
+    def test_substring_acceptance(self, substring_101_nfa):
+        assert substring_101_nfa.accepts("0010100")
+        assert not substring_101_nfa.accepts("0011000")
+
+
+# ----------------------------------------------------------------------
+# Reachability, trimming and transformations
+# ----------------------------------------------------------------------
+class TestTransformations:
+    def test_forward_reachable(self):
+        nfa = NFA.build(
+            [("a", "0", "b"), ("c", "0", "c")], initial="a", accepting=["b"], states=["c"]
+        )
+        assert nfa.forward_reachable() == frozenset({"a", "b"})
+
+    def test_backward_reachable(self):
+        nfa = NFA.build(
+            [("a", "0", "b"), ("a", "1", "dead")], initial="a", accepting=["b"]
+        )
+        assert nfa.backward_reachable() == frozenset({"a", "b"})
+
+    def test_trim_removes_useless_states(self):
+        nfa = NFA.build(
+            [("a", "0", "b"), ("a", "1", "dead"), ("unreach", "0", "b")],
+            initial="a",
+            accepting=["b"],
+        )
+        trimmed = nfa.trim()
+        assert trimmed.states == frozenset({"a", "b"})
+        assert trimmed.accepts("0")
+
+    def test_trim_keeps_initial_even_if_useless(self):
+        nfa = NFA.build([("a", "0", "a")], initial="a", accepting=[])
+        trimmed = nfa.trim()
+        assert trimmed.initial == "a"
+        assert "a" in trimmed.states
+
+    def test_prune_unreachable(self):
+        nfa = NFA.build(
+            [("a", "0", "b"), ("island", "0", "island")],
+            initial="a",
+            accepting=["b", "island"],
+        )
+        pruned = nfa.prune_unreachable()
+        assert "island" not in pruned.states
+        assert pruned.accepting == frozenset({"b"})
+
+    def test_normalized_single_accepting_preserves_slices(self, ambiguous_union_nfa):
+        normalized = ambiguous_union_nfa.normalized_single_accepting()
+        for length in range(6):
+            assert sorted(normalized.language_slice(length)) == sorted(
+                ambiguous_union_nfa.language_slice(length)
+            )
+
+    def test_normalized_single_accepting_noop_for_single(self, binary_two_state_nfa):
+        assert binary_two_state_nfa.normalized_single_accepting() is binary_two_state_nfa
+
+    def test_normalized_preserves_empty_word(self):
+        nfa = NFA.build(
+            [("a", "0", "b"), ("b", "0", "a")], initial="a", accepting=["a", "b"]
+        )
+        normalized = nfa.normalized_single_accepting()
+        assert normalized.accepts("")
+        for length in range(5):
+            assert len(normalized.language_slice(length)) == len(nfa.language_slice(length))
+
+    def test_reverse_preserves_slice_sizes(self, substring_101_nfa):
+        reversed_nfa = substring_101_nfa.reverse()
+        for length in range(6):
+            assert len(reversed_nfa.language_slice(length)) == len(
+                substring_101_nfa.language_slice(length)
+            )
+
+    def test_reverse_mirrors_words(self):
+        nfa = NFA.build([("a", "0", "b"), ("b", "1", "c")], initial="a", accepting=["c"])
+        reversed_nfa = nfa.reverse()
+        assert reversed_nfa.accepts("10")
+        assert not reversed_nfa.accepts("01")
+
+    def test_relabeled_is_isomorphic(self, substring_101_nfa):
+        relabeled = substring_101_nfa.relabeled()
+        assert relabeled.num_states == substring_101_nfa.num_states
+        for length in range(6):
+            assert len(relabeled.language_slice(length)) == len(
+                substring_101_nfa.language_slice(length)
+            )
+        assert all(str(state).startswith("q") for state in relabeled.states)
+
+
+# ----------------------------------------------------------------------
+# Language-slice utilities
+# ----------------------------------------------------------------------
+class TestSliceUtilities:
+    def test_language_slice_small(self, binary_two_state_nfa):
+        words = binary_two_state_nfa.language_slice(2)
+        assert set(words) == {("0", "1"), ("1", "0"), ("1", "1")}
+
+    def test_language_slice_zero_length(self, binary_two_state_nfa):
+        assert binary_two_state_nfa.language_slice(0) == []
+
+    def test_iter_slice_rejects_negative_length(self, binary_two_state_nfa):
+        with pytest.raises(ValueError):
+            list(binary_two_state_nfa.iter_slice(-1))
+
+    def test_is_empty_slice(self):
+        nfa = NFA.build([("a", "0", "b")], initial="a", accepting=["b"])
+        assert nfa.is_empty_slice(0)
+        assert not nfa.is_empty_slice(1)
+        assert nfa.is_empty_slice(2)
+
+    def test_shortest_accepted_length(self, substring_101_nfa):
+        assert substring_101_nfa.shortest_accepted_length(10) == 3
+
+    def test_shortest_accepted_length_none(self):
+        nfa = NFA.build([("a", "0", "a")], initial="a", accepting=[])
+        assert nfa.shortest_accepted_length(5) is None
+
+    def test_some_word_of_length_is_accepted(self, substring_101_nfa):
+        word = substring_101_nfa.some_word_of_length(6)
+        assert word is not None
+        assert len(word) == 6
+        assert substring_101_nfa.accepts(word)
+
+    def test_some_word_of_length_empty_slice(self):
+        nfa = NFA.build([("a", "0", "b")], initial="a", accepting=["b"])
+        assert nfa.some_word_of_length(3) is None
+
+    def test_some_word_of_length_negative(self, substring_101_nfa):
+        with pytest.raises(ValueError):
+            substring_101_nfa.some_word_of_length(-1)

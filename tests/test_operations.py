@@ -1,0 +1,164 @@
+"""Unit tests for language-level NFA operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import families
+from repro.automata.exact import count_exact
+from repro.automata.nfa import NFA
+from repro.automata.operations import (
+    concatenation,
+    disjoint_union_states,
+    intersection,
+    relabel_symbols,
+    restrict_alphabet,
+    union,
+)
+from repro.errors import AutomatonError
+
+
+@pytest.fixture
+def contains_00():
+    return families.substring_nfa("00")
+
+
+@pytest.fixture
+def contains_11():
+    return families.substring_nfa("11")
+
+
+class TestIntersection:
+    def test_product_accepts_only_common_words(self, contains_00, contains_11):
+        product = intersection(contains_00, contains_11)
+        assert product.accepts("0011")
+        assert product.accepts("1100")
+        assert not product.accepts("0101")
+        assert not product.accepts("0010")
+
+    def test_product_slice_counts_by_inclusion_exclusion(self, contains_00, contains_11):
+        product = intersection(contains_00, contains_11)
+        both = union([contains_00, contains_11])
+        for length in range(7):
+            # |A| + |B| = |A ∪ B| + |A ∩ B|
+            assert count_exact(contains_00, length) + count_exact(contains_11, length) == (
+                count_exact(both, length) + count_exact(product, length)
+            )
+
+    def test_product_state_bound(self, contains_00, contains_11):
+        product = intersection(contains_00, contains_11)
+        assert product.num_states <= contains_00.num_states * contains_11.num_states
+
+    def test_disjoint_alphabets_rejected(self):
+        left = NFA.build([("a", "x", "a")], initial="a", accepting=["a"])
+        right = NFA.build([("b", "y", "b")], initial="b", accepting=["b"])
+        with pytest.raises(AutomatonError):
+            intersection(left, right)
+
+    def test_intersection_with_all_words_is_identity_on_counts(self, contains_00):
+        everything = families.all_words_nfa()
+        product = intersection(contains_00, everything)
+        for length in range(6):
+            assert count_exact(product, length) == count_exact(contains_00, length)
+
+
+class TestUnion:
+    def test_union_accepts_either(self, contains_00, contains_11):
+        merged = union([contains_00, contains_11])
+        assert merged.accepts("100")
+        assert merged.accepts("011")
+        assert not merged.accepts("0101")
+
+    def test_union_counts_at_most_sum(self, contains_00, contains_11):
+        merged = union([contains_00, contains_11])
+        for length in range(7):
+            assert count_exact(merged, length) <= count_exact(contains_00, length) + count_exact(
+                contains_11, length
+            )
+            assert count_exact(merged, length) >= max(
+                count_exact(contains_00, length), count_exact(contains_11, length)
+            )
+
+    def test_union_preserves_empty_word_acceptance(self):
+        accepts_empty = NFA.build([("a", "0", "a")], initial="a", accepting=["a"])
+        rejects_empty = families.substring_nfa("0")
+        merged = union([rejects_empty, accepts_empty])
+        assert merged.accepts("")
+
+    def test_union_of_single_automaton(self, contains_00):
+        merged = union([contains_00])
+        for length in range(6):
+            assert count_exact(merged, length) == count_exact(contains_00, length)
+
+    def test_union_of_zero_automata_rejected(self):
+        with pytest.raises(AutomatonError):
+            union([])
+
+    def test_union_merges_alphabets(self):
+        left = NFA.build([("a", "x", "a")], initial="a", accepting=["a"])
+        right = NFA.build([("b", "y", "b")], initial="b", accepting=["b"])
+        merged = union([left, right])
+        assert set(merged.alphabet) == {"x", "y"}
+        assert merged.accepts(("x", "x"))
+        assert merged.accepts(("y",))
+        assert not merged.accepts(("x", "y"))
+
+
+class TestConcatenation:
+    def test_concatenation_accepts_split_words(self):
+        starts = families.suffix_nfa("1")  # anything ending in 1
+        ends = families.suffix_nfa("0")  # anything ending in 0
+        joined = concatenation(starts, ends)
+        assert joined.accepts("10")
+        assert joined.accepts("0110")  # 01|10 or 011|0
+        assert not joined.accepts("01")
+
+    def test_concatenation_with_empty_word_right(self):
+        left = families.substring_nfa("1")
+        right = NFA.build([("a", "0", "a")], initial="a", accepting=["a"])  # 0*, accepts ""
+        joined = concatenation(left, right)
+        assert joined.accepts("1")
+        assert joined.accepts("100")
+        assert not joined.accepts("000")
+
+    def test_concatenation_counts(self):
+        # (words ending in 1) . (single 0) == words ending in 10
+        left = families.suffix_nfa("1")
+        right = NFA.build([("a", "0", "b")], initial="a", accepting=["b"])
+        joined = concatenation(left, right)
+        expected = families.suffix_nfa("10")
+        for length in range(7):
+            assert count_exact(joined, length) == count_exact(expected, length)
+
+
+class TestSymbolOperations:
+    def test_restrict_alphabet_drops_transitions(self):
+        nfa = NFA.build(
+            [("a", "0", "b"), ("a", "1", "b"), ("b", "0", "b")],
+            initial="a",
+            accepting=["b"],
+        )
+        restricted = restrict_alphabet(nfa, ["0"])
+        assert restricted.accepts("0")
+        assert not restricted.accepts("1")
+        assert restricted.alphabet == ("0",)
+
+    def test_relabel_symbols(self):
+        nfa = families.substring_nfa("01")
+        relabeled = relabel_symbols(nfa, {"0": "a", "1": "b"})
+        assert relabeled.accepts(("a", "b"))
+        assert not relabeled.accepts(("b", "a"))
+        for length in range(6):
+            assert count_exact(relabeled, length) == count_exact(nfa, length)
+
+    def test_relabel_symbols_requires_injectivity(self):
+        nfa = families.substring_nfa("01")
+        with pytest.raises(AutomatonError):
+            relabel_symbols(nfa, {"0": "x", "1": "x"})
+
+    def test_disjoint_union_states(self, contains_00, contains_11):
+        relabeled = disjoint_union_states([contains_00, contains_11])
+        assert not (relabeled[0].states & relabeled[1].states)
+        for original, copy in zip((contains_00, contains_11), relabeled):
+            for length in range(5):
+                assert count_exact(copy, length) == count_exact(original, length)

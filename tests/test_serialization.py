@@ -1,0 +1,150 @@
+"""Tests for automaton serialization (JSON, text and DOT formats)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.automata import families
+from repro.automata.exact import count_exact
+from repro.automata.serialization import (
+    JSON_FORMAT_VERSION,
+    dump,
+    dumps,
+    load,
+    loads,
+    nfa_from_dict,
+    nfa_from_text,
+    nfa_to_dict,
+    nfa_to_dot,
+    nfa_to_text,
+)
+from repro.errors import AutomatonError
+
+
+@pytest.fixture(
+    params=[
+        lambda: families.substring_nfa("101"),
+        lambda: families.suffix_nfa("011"),
+        lambda: families.no_consecutive_ones_nfa(),
+        lambda: families.union_of_patterns_nfa(["00", "11"]),
+    ]
+)
+def sample_nfa(request):
+    return request.param()
+
+
+class TestJSON:
+    def test_dict_roundtrip_preserves_language(self, sample_nfa):
+        rebuilt = nfa_from_dict(nfa_to_dict(sample_nfa))
+        for length in range(6):
+            assert count_exact(rebuilt, length) == count_exact(sample_nfa, length)
+
+    def test_dict_contains_format_and_version(self, sample_nfa):
+        document = nfa_to_dict(sample_nfa)
+        assert document["format"] == "repro-nfa"
+        assert document["version"] == JSON_FORMAT_VERSION
+
+    def test_string_roundtrip(self, sample_nfa):
+        rebuilt = loads(dumps(sample_nfa))
+        assert rebuilt.alphabet == sample_nfa.alphabet
+        for length in range(6):
+            assert count_exact(rebuilt, length) == count_exact(sample_nfa, length)
+
+    def test_dumps_is_valid_json(self, sample_nfa):
+        parsed = json.loads(dumps(sample_nfa))
+        assert isinstance(parsed["transitions"], list)
+
+    def test_file_object_roundtrip(self, sample_nfa):
+        buffer = io.StringIO()
+        dump(sample_nfa, buffer)
+        buffer.seek(0)
+        rebuilt = load(buffer)
+        assert count_exact(rebuilt, 5) == count_exact(sample_nfa, 5)
+
+    def test_path_roundtrip(self, sample_nfa, tmp_path):
+        path = tmp_path / "automaton.json"
+        dump(sample_nfa, str(path))
+        rebuilt = load(str(path))
+        assert count_exact(rebuilt, 5) == count_exact(sample_nfa, 5)
+
+    def test_missing_format_tag_rejected(self):
+        with pytest.raises(AutomatonError):
+            nfa_from_dict({"version": 1})
+
+    def test_wrong_version_rejected(self, sample_nfa):
+        document = nfa_to_dict(sample_nfa)
+        document["version"] = 999
+        with pytest.raises(AutomatonError):
+            nfa_from_dict(document)
+
+    def test_missing_field_rejected(self, sample_nfa):
+        document = nfa_to_dict(sample_nfa)
+        del document["initial"]
+        with pytest.raises(AutomatonError):
+            nfa_from_dict(document)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(AutomatonError):
+            loads("{not json")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(AutomatonError):
+            loads("[1, 2, 3]")
+
+
+class TestTextFormat:
+    def test_roundtrip_preserves_language(self, sample_nfa):
+        rebuilt = nfa_from_text(nfa_to_text(sample_nfa))
+        for length in range(6):
+            assert count_exact(rebuilt, length) == count_exact(sample_nfa, length)
+
+    def test_parses_comments_and_blank_lines(self):
+        text = """
+        # a tiny automaton
+        alphabet: 0 1
+        initial: a
+        accepting: b
+
+        a 0 b
+        b 1 b
+        """
+        nfa = nfa_from_text(text)
+        assert nfa.accepts("0")
+        assert nfa.accepts("011")
+        assert not nfa.accepts("1")
+
+    def test_missing_initial_rejected(self):
+        with pytest.raises(AutomatonError):
+            nfa_from_text("alphabet: 0 1\naccepting: a\na 0 a\n")
+
+    def test_bad_transition_line_rejected(self):
+        with pytest.raises(AutomatonError):
+            nfa_from_text("initial: a\naccepting: a\na 0\n")
+
+    def test_states_line_adds_isolated_states(self):
+        nfa = nfa_from_text("initial: a\naccepting: a\nstates: a lonely\na 0 a\n")
+        assert "lonely" in nfa.states
+
+
+class TestDot:
+    def test_dot_structure(self, sample_nfa):
+        dot = nfa_to_dot(sample_nfa, name="demo")
+        assert dot.startswith('digraph "demo" {')
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot  # accepting states present
+        assert "__start__ ->" in dot
+
+    def test_dot_merges_parallel_edges(self):
+        nfa = families.all_words_nfa()
+        dot = nfa_to_dot(nfa)
+        # Both loop transitions are rendered as a single edge labeled "0,1".
+        assert dot.count("->") == 2  # initial marker + merged self loop
+        assert '"0,1"' in dot
+
+    def test_dot_quotes_labels(self):
+        nfa = families.substring_nfa("01")
+        dot = nfa_to_dot(nfa, name='quo"ted')
+        assert '\\"' in dot

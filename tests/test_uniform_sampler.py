@@ -1,0 +1,93 @@
+"""Tests for the almost-uniform word sampler built on the FPRAS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.statistics import uniformity_report
+from repro.automata import families
+from repro.automata.exact import enumerate_slice
+from repro.automata.nfa import NFA
+from repro.counting.fpras import NFACounter
+from repro.counting.params import FPRASParameters, ParameterScale
+from repro.counting.uniform import UniformWordSampler
+from repro.errors import EmptyLanguageError, ParameterError
+
+
+@pytest.fixture
+def fib_sampler(accurate_parameters):
+    nfa = families.no_consecutive_ones_nfa()
+    counter = NFACounter(nfa, 7, accurate_parameters)
+    return nfa, UniformWordSampler(counter)
+
+
+class TestConstruction:
+    def test_invalid_attempt_budget(self, fibonacci_nfa, fast_parameters):
+        counter = NFACounter(fibonacci_nfa, 5, fast_parameters)
+        with pytest.raises(ParameterError):
+            UniformWordSampler(counter, max_attempts_per_word=0)
+
+    def test_for_nfa_prepares_immediately(self, fast_parameters):
+        sampler = UniformWordSampler.for_nfa(
+            families.no_consecutive_ones_nfa(), 5, parameters=fast_parameters
+        )
+        assert sampler.counter.has_run
+
+    def test_prepare_runs_counter_once(self, fib_sampler):
+        _nfa, sampler = fib_sampler
+        estimate_first = sampler.prepare()
+        estimate_second = sampler.prepare()
+        assert estimate_first == estimate_second
+
+    def test_prepare_with_prerun_counter(self, fibonacci_nfa, fast_parameters):
+        counter = NFACounter(fibonacci_nfa, 5, fast_parameters)
+        counter.run()
+        sampler = UniformWordSampler(counter)
+        assert sampler.prepare() > 0
+
+    def test_empty_language_raises(self, fast_parameters):
+        nfa = NFA.build([("a", "0", "b")], initial="a", accepting=["b"])
+        counter = NFACounter(nfa, 3, fast_parameters)
+        sampler = UniformWordSampler(counter)
+        with pytest.raises(EmptyLanguageError):
+            sampler.prepare()
+
+
+class TestSampling:
+    def test_samples_are_accepted_words_of_right_length(self, fib_sampler):
+        nfa, sampler = fib_sampler
+        for word in sampler.sample_many(20):
+            assert len(word) == 7
+            assert nfa.accepts(word)
+
+    def test_sample_with_report(self, fib_sampler):
+        _nfa, sampler = fib_sampler
+        words, report = sampler.sample_with_report(30)
+        assert report.requested == 30
+        assert report.produced == len(words)
+        assert report.attempts >= report.produced
+        assert 0.0 < report.acceptance_rate <= 1.0
+
+    def test_distribution_roughly_uniform(self, accurate_parameters):
+        nfa = families.no_consecutive_ones_nfa()
+        counter = NFACounter(nfa, 6, accurate_parameters)
+        sampler = UniformWordSampler(counter)
+        words, _report = sampler.sample_with_report(400)
+        population = enumerate_slice(nfa, 6)
+        report = uniformity_report(words, population)
+        # TV distance should not greatly exceed pure finite-sample noise.
+        assert report.tv_distance <= report.expected_tv_distance + 0.15
+        assert report.distinct_sampled >= 0.6 * report.support_size
+
+    def test_acceptance_rate_in_expected_band(self, fib_sampler):
+        _nfa, sampler = fib_sampler
+        _words, report = sampler.sample_with_report(60)
+        # Per-attempt success probability is ~2/(3e) with accurate estimates.
+        assert 0.1 <= report.acceptance_rate <= 0.5
+
+    def test_multiple_accepting_states(self, accurate_parameters):
+        nfa = families.union_of_patterns_nfa(["01", "10"])
+        sampler = UniformWordSampler(NFACounter(nfa, 6, accurate_parameters))
+        for word in sampler.sample_many(10):
+            assert nfa.accepts(word)
+            assert len(word) == 6
