@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 
 from repro.automata.dfa import determinize
+from repro.automata.engine import create_engine
 from repro.automata.exact import count_exact
 from repro.automata.families import substring_nfa, suffix_nfa, union_of_patterns_nfa
 from repro.counting.acjr import count_nfa_acjr
@@ -33,8 +34,7 @@ def test_bench_determinize(benchmark):
     assert dfa.num_states >= nfa.num_states
 
 
-def test_bench_appunion(benchmark):
-    rng = random.Random(0)
+def test_bench_appunion(benchmark, bench_rng):
     parameters = FPRASParameters(
         epsilon=0.3, scale=ParameterScale.practical(union_trial_cap=200)
     )
@@ -45,38 +45,57 @@ def test_bench_appunion(benchmark):
         sets.append(
             SetAccess(
                 oracle=lambda item, members=frozenset(elements): item in members,
-                samples=[rng.choice(elements) for _ in range(64)],
+                samples=[bench_rng.choice(elements) for _ in range(64)],
                 size_estimate=len(elements),
             )
         )
+    trial_seed = bench_rng.randrange(2**31)
 
     def run():
         return approximate_union(
             sets, epsilon=0.2, delta=0.05, size_slack=0.0, parameters=parameters,
-            rng=random.Random(1),
+            rng=random.Random(trial_seed),
         )
 
     estimate = benchmark(run)
     assert 100 <= estimate.estimate <= 300
 
 
-def test_bench_fpras_full_run(benchmark):
+def test_bench_fpras_full_run(benchmark, bench_rng):
     nfa = substring_nfa("101")
     exact = count_exact(nfa, LENGTH)
+    seed = bench_rng.randrange(2**31)
 
     def run():
-        return count_nfa(nfa, LENGTH, epsilon=0.3, seed=1)
+        return count_nfa(nfa, LENGTH, epsilon=0.3, seed=seed)
 
     result = benchmark(run)
     assert result.relative_error(exact) < 0.5
 
 
-def test_bench_acjr_full_run(benchmark):
+def test_bench_acjr_full_run(benchmark, bench_rng):
     nfa = substring_nfa("101")
     exact = count_exact(nfa, LENGTH)
+    seed = bench_rng.randrange(2**31)
 
     def run():
-        return count_nfa_acjr(nfa, LENGTH, epsilon=0.3, sample_cap=48, seed=1)
+        return count_nfa_acjr(nfa, LENGTH, epsilon=0.3, sample_cap=48, seed=seed)
 
     result = benchmark(run)
     assert result.relative_error(exact) < 0.5
+
+
+def test_bench_bitset_membership(benchmark, bench_rng):
+    """Engine-level micro-benchmark: whole-word simulation on the bitset backend."""
+    nfa = union_of_patterns_nfa(["00", "11", "0101"])
+    engine = create_engine(nfa, "bitset")
+    alphabet = list(nfa.alphabet)
+    words = [
+        tuple(bench_rng.choice(alphabet) for _ in range(LENGTH)) for _ in range(500)
+    ]
+
+    def run():
+        return sum(1 for word in words if engine.accepts(word))
+
+    hits = benchmark(run)
+    assert 0 < hits <= len(words)

@@ -6,17 +6,38 @@ because there are more states to process (low-degree polynomial in ``m``).
 The benchmark measures runtime over an ``m`` sweep and asserts (a) accuracy
 holds across the sweep and (b) the configured samples-per-state stays
 constant as ``m`` grows.
+
+The second benchmark compares the simulation backends head-to-head on the
+same E4 workloads: the FPRAS spends essentially all of its time in
+membership oracles (word simulation through the unrolled automaton), so the
+backend comparison runs that membership-dominated path — many fresh-word
+reachability queries per automaton — on the frozenset reference engine and
+on the bit-parallel bitset engine, and asserts the bitset backend is at
+least 3x faster.
 """
 
 from __future__ import annotations
 
+import time
+
+from repro.automata.engine import create_engine
 from repro.harness.experiments import run_scaling_states
 from repro.harness.reporting import format_table
+from repro.workloads.generator import scaling_suite_states
+
+#: State counts of the membership-dominated backend comparison; the larger
+#: end of the E4 sweep is where the frozenset unions hurt the most.
+SPEEDUP_STATE_COUNTS = (8, 16, 24)
+SPEEDUP_WORDS = 2000
+SPEEDUP_MIN_RATIO = 3.0
 
 
-def test_e4_scaling_with_states(benchmark, report):
+def test_e4_scaling_with_states(benchmark, report, bench_seed):
     result = benchmark.pedantic(
-        run_scaling_states, kwargs={"quick": True}, rounds=1, iterations=1
+        run_scaling_states,
+        kwargs={"quick": True, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
     )
     report(format_table(result.rows, title=f"E4: {result.description}"))
     for note in result.notes:
@@ -26,3 +47,74 @@ def test_e4_scaling_with_states(benchmark, report):
     assert len(samples_per_state) == 1, "per-state sample count must not depend on m"
     for row in result.rows:
         assert row["fpras_rel_error"] < 0.6
+
+
+def _membership_seconds(engine, words) -> float:
+    """Time many whole-word reachability queries (best of three passes)."""
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        hits = 0
+        for word in words:
+            if engine.accepts(word):
+                hits += 1
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _engine_comparison(bench_rng):
+    """Measure reference vs bitset membership throughput on the E4 suite."""
+    suite = scaling_suite_states(state_counts=SPEEDUP_STATE_COUNTS)
+    rows = []
+    ratios = []
+    for workload in suite:
+        alphabet = list(workload.nfa.alphabet)
+        words = [
+            tuple(bench_rng.choice(alphabet) for _ in range(workload.length))
+            for _ in range(SPEEDUP_WORDS)
+        ]
+        reference = create_engine(workload.nfa, "reference")
+        bitset = create_engine(workload.nfa, "bitset")
+        # Both backends must agree on every query (differential check).
+        agreement = [reference.accepts(word) == bitset.accepts(word) for word in words]
+        assert all(agreement)
+        reference_seconds = _membership_seconds(reference, words)
+        bitset_seconds = _membership_seconds(bitset, words)
+        ratio = reference_seconds / bitset_seconds
+        ratios.append(ratio)
+        rows.append(
+            {
+                "m": workload.num_states,
+                "length": workload.length,
+                "words": SPEEDUP_WORDS,
+                "reference_seconds": reference_seconds,
+                "bitset_seconds": bitset_seconds,
+                "speedup": ratio,
+            }
+        )
+    return rows, ratios
+
+
+def test_e4_engine_membership_speedup(benchmark, report, bench_rng):
+    """Bitset vs reference on E4's membership-dominated configuration."""
+    rows, ratios = benchmark.pedantic(
+        _engine_comparison, args=(bench_rng,), rounds=1, iterations=1
+    )
+    report(
+        format_table(
+            rows,
+            title=(
+                "E4 backend comparison: membership-dominated word simulation "
+                "(reference vs bitset)"
+            ),
+        )
+    )
+    geometric_mean = 1.0
+    for ratio in ratios:
+        geometric_mean *= ratio
+    geometric_mean **= 1.0 / len(ratios)
+    report(f"E4 backend note: geometric-mean bitset speedup {geometric_mean:.2f}x")
+    assert geometric_mean >= SPEEDUP_MIN_RATIO, (
+        f"bitset speedup {geometric_mean:.2f}x below the {SPEEDUP_MIN_RATIO}x target; "
+        f"per-m ratios: {[round(r, 2) for r in ratios]}"
+    )

@@ -8,6 +8,9 @@ Meel, Chakraborty and Mathur (PODS 2024) relies on:
   counters and by baselines;
 * :mod:`~repro.automata.regex` — a regular-expression front end compiling to
   epsilon-free NFAs (Thompson construction followed by epsilon elimination);
+* :mod:`~repro.automata.engine` / :mod:`~repro.automata.bitset` — pluggable
+  simulation engines (frozenset reference backend and the bit-parallel
+  bitset backend) behind every hot simulation loop;
 * :class:`~repro.automata.unroll.UnrolledAutomaton` — the layered acyclic
   "unrolling" the FPRAS operates on, together with membership oracles;
 * :mod:`~repro.automata.exact` — exact #NFA counting used as ground truth;
@@ -17,7 +20,16 @@ Meel, Chakraborty and Mathur (PODS 2024) relies on:
 
 from repro.automata.nfa import NFA, Word, word_from_string, word_to_string
 from repro.automata.dfa import DFA, determinize, minimize
-from repro.automata.unroll import UnrolledAutomaton
+from repro.automata.engine import (
+    DEFAULT_BACKEND,
+    Engine,
+    ReferenceEngine,
+    available_backends,
+    create_engine,
+    register_engine,
+)
+from repro.automata.bitset import BitsetEngine
+from repro.automata.unroll import ReachabilityCache, UnrolledAutomaton
 from repro.automata.regex import compile_regex, parse_regex
 from repro.automata.exact import (
     ExactCounter,
@@ -38,6 +50,14 @@ __all__ = [
     "word_to_string",
     "determinize",
     "minimize",
+    "DEFAULT_BACKEND",
+    "Engine",
+    "ReferenceEngine",
+    "BitsetEngine",
+    "available_backends",
+    "create_engine",
+    "register_engine",
+    "ReachabilityCache",
     "UnrolledAutomaton",
     "compile_regex",
     "parse_regex",

@@ -1,0 +1,322 @@
+"""Pluggable NFA simulation engines.
+
+Every hot loop of the FPRAS — membership oracles, live-state computation,
+backward predecessor walks — reduces to a handful of operations on *sets of
+NFA states*.  :class:`Engine` captures exactly that narrow interface, with
+the set representation left opaque (a "handle"): the always-available
+:class:`ReferenceEngine` uses plain ``frozenset`` objects (the semantics the
+rest of the test suite pins down), while :class:`repro.automata.bitset
+.BitsetEngine` packs states into integer bitmasks so a simulation step is a
+few word-sized bit operations instead of Python-object set unions.
+
+Handles are required to be hashable and to satisfy ``handle_a == handle_b``
+iff the decoded state sets are equal, so callers may key caches by handle and
+get identical hit/miss patterns on every backend.  All engines must be
+*observationally identical*: for the same automaton and the same sequence of
+operations they produce handles decoding to the same frozensets.  The
+differential parity suite (``tests/test_engine_parity.py``) enforces this,
+which in turn guarantees that an FPRAS run with a shared seed yields
+bit-identical estimates and sampler draws on every backend.
+
+Engines also keep cheap work counters (``step_ops``, ``pre_ops``,
+``decode_ops``) which the counting layer surfaces through
+:class:`repro.counting.fpras.CountResult` diagnostics and the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.automata.nfa import NFA, State, Symbol, Word, as_word
+from repro.errors import AutomatonError, ParameterError
+
+#: The backend used when callers do not ask for a specific one.
+DEFAULT_BACKEND = "bitset"
+
+
+class Engine(ABC):
+    """Narrow simulation interface over opaque state-set handles.
+
+    Subclasses fix the handle representation and implement the primitive
+    set operations; everything else (word simulation, acceptance) is derived
+    here.  Handles must be hashable and equality-consistent with the decoded
+    frozensets.
+    """
+
+    #: Registry key of the backend (e.g. ``"reference"``, ``"bitset"``).
+    name: str = "abstract"
+
+    def __init__(self, nfa: NFA) -> None:
+        self.nfa = nfa
+        self.step_ops = 0
+        self.pre_ops = 0
+        self.decode_ops = 0
+
+    # ------------------------------------------------------------------
+    # Primitive handles
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def initial(self) -> object:
+        """Handle for ``{initial}``."""
+
+    @property
+    @abstractmethod
+    def accepting(self) -> object:
+        """Handle for the accepting state set ``F``."""
+
+    @property
+    @abstractmethod
+    def empty(self) -> object:
+        """Handle for the empty state set."""
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def encode(self, states: Iterable[State]) -> object:
+        """Handle for an arbitrary collection of states."""
+
+    @abstractmethod
+    def decode(self, handle: object) -> FrozenSet[State]:
+        """The frozenset of states a handle denotes."""
+
+    def singleton(self, state: State) -> object:
+        """Handle for ``{state}``."""
+        return self.encode((state,))
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def step(self, handle: object, symbol: Symbol) -> object:
+        """Forward image: states reachable from ``handle`` on one ``symbol``."""
+
+    @abstractmethod
+    def step_all(self, handle: object) -> object:
+        """Forward image under *any* alphabet symbol (one unrolling level)."""
+
+    @abstractmethod
+    def pre(self, handle: object, symbol: Symbol) -> object:
+        """Reverse image: the paper's ``Pred(Q', b)`` for a state set ``Q'``."""
+
+    @abstractmethod
+    def intersect(self, first: object, second: object) -> object:
+        """Handle for the intersection of two handles."""
+
+    @abstractmethod
+    def union(self, first: object, second: object) -> object:
+        """Handle for the union of two handles."""
+
+    @abstractmethod
+    def contains(self, handle: object, state: State) -> bool:
+        """Whether ``state`` belongs to the set ``handle`` denotes."""
+
+    @abstractmethod
+    def is_empty(self, handle: object) -> bool:
+        """Whether the handle denotes the empty set."""
+
+    @abstractmethod
+    def intersects(self, first: object, second: object) -> bool:
+        """Whether the two handles share at least one state."""
+
+    @abstractmethod
+    def count(self, handle: object) -> int:
+        """Number of states in the set."""
+
+    # ------------------------------------------------------------------
+    # Batched membership
+    # ------------------------------------------------------------------
+    def batch_checker(
+        self, states: Sequence[State]
+    ) -> Callable[[object, int], int]:
+        """Positional membership over a fixed state list, one handle lookup.
+
+        Returns ``check(handle, upto)`` — the smallest index ``j < upto``
+        with ``states[j]`` in the set, or ``-1``.  This is the primitive
+        behind AppUnion's "first earlier set containing the sample" test:
+        one reachability handle answers every queried state at the level.
+        """
+        order = tuple(states)
+
+        def check(handle: object, upto: int) -> int:
+            for position in range(upto):
+                if self.contains(handle, order[position]):
+                    return position
+            return -1
+
+        return check
+
+    # ------------------------------------------------------------------
+    # Derived word-level operations
+    # ------------------------------------------------------------------
+    def simulate(self, word: "str | Word") -> object:
+        """Handle of states reachable from the initial state on ``word``."""
+        current = self.initial
+        for symbol in as_word(word):
+            current = self.step(current, symbol)
+            if self.is_empty(current):
+                return current
+        return current
+
+    def accepts(self, word: "str | Word") -> bool:
+        """Whether the automaton accepts ``word`` (engine-backed)."""
+        return self.intersects(self.simulate(word), self.accepting)
+
+    def reachable_states(self, word: "str | Word") -> FrozenSet[State]:
+        """Frozenset counterpart of :meth:`simulate` (parity-test helper)."""
+        return self.decode(self.simulate(word))
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the engine-level work counters."""
+        return {
+            "step_ops": self.step_ops,
+            "pre_ops": self.pre_ops,
+            "decode_ops": self.decode_ops,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(states={self.nfa.num_states})"
+
+
+class ReferenceEngine(Engine):
+    """The always-available frozenset backend.
+
+    Handles are plain ``FrozenSet[State]`` values and every operation
+    delegates to the memoised successor/predecessor maps of :class:`NFA`,
+    making this engine definitionally equivalent to the original pure-Python
+    implementation.  It is the semantic baseline the parity suite compares
+    other backends against.
+    """
+
+    name = "reference"
+
+    def __init__(self, nfa: NFA) -> None:
+        super().__init__(nfa)
+        self._initial: FrozenSet[State] = frozenset({nfa.initial})
+        self._accepting: FrozenSet[State] = frozenset(nfa.accepting)
+        self._empty: FrozenSet[State] = frozenset()
+        self._all_states: FrozenSet[State] = frozenset(nfa.states)
+
+    @property
+    def initial(self) -> FrozenSet[State]:
+        return self._initial
+
+    @property
+    def accepting(self) -> FrozenSet[State]:
+        return self._accepting
+
+    @property
+    def empty(self) -> FrozenSet[State]:
+        return self._empty
+
+    def encode(self, states: Iterable[State]) -> FrozenSet[State]:
+        result = frozenset(states)
+        if not result <= self._all_states:
+            unknown = next(iter(result - self._all_states))
+            raise AutomatonError(
+                f"state {unknown!r} is not a state of the automaton"
+            )
+        return result
+
+    def decode(self, handle: FrozenSet[State]) -> FrozenSet[State]:
+        self.decode_ops += 1
+        return handle
+
+    def step(self, handle: FrozenSet[State], symbol: Symbol) -> FrozenSet[State]:
+        self.step_ops += 1
+        result: set = set()
+        for state in handle:
+            result.update(self.nfa.successors(state, symbol))
+        return frozenset(result)
+
+    def step_all(self, handle: FrozenSet[State]) -> FrozenSet[State]:
+        self.step_ops += 1
+        result: set = set()
+        for state in handle:
+            for symbol in self.nfa.alphabet:
+                result.update(self.nfa.successors(state, symbol))
+        return frozenset(result)
+
+    def pre(self, handle: FrozenSet[State], symbol: Symbol) -> FrozenSet[State]:
+        self.pre_ops += 1
+        result: set = set()
+        for state in handle:
+            result.update(self.nfa.predecessors(state, symbol))
+        return frozenset(result)
+
+    def intersect(
+        self, first: FrozenSet[State], second: FrozenSet[State]
+    ) -> FrozenSet[State]:
+        return first & second
+
+    def union(
+        self, first: FrozenSet[State], second: FrozenSet[State]
+    ) -> FrozenSet[State]:
+        return first | second
+
+    def contains(self, handle: FrozenSet[State], state: State) -> bool:
+        return state in handle
+
+    def is_empty(self, handle: FrozenSet[State]) -> bool:
+        return not handle
+
+    def intersects(self, first: FrozenSet[State], second: FrozenSet[State]) -> bool:
+        return not first.isdisjoint(second)
+
+    def count(self, handle: FrozenSet[State]) -> int:
+        return len(handle)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+EngineFactory = Callable[[NFA], Engine]
+
+ENGINE_REGISTRY: Dict[str, EngineFactory] = {
+    ReferenceEngine.name: ReferenceEngine,
+}
+
+
+def register_engine(name: str, factory: EngineFactory) -> None:
+    """Add a backend to the registry (used by :mod:`repro.automata.bitset`)."""
+    ENGINE_REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names of all registered simulation backends."""
+    return tuple(sorted(ENGINE_REGISTRY))
+
+
+def create_engine(nfa: NFA, backend: Optional[str] = None) -> Engine:
+    """Instantiate a simulation engine for ``nfa``.
+
+    ``backend`` is a registry name; ``None`` selects :data:`DEFAULT_BACKEND`.
+    """
+    key = backend if backend is not None else DEFAULT_BACKEND
+    try:
+        factory = ENGINE_REGISTRY[key]
+    except KeyError:
+        raise ParameterError(
+            f"unknown simulation backend {key!r}; available: {list(available_backends())}"
+        ) from None
+    return factory(nfa)
+
+
+# Import for the side effect of registering the bitset backend.  Placed at
+# the bottom so the bitset module can import the Engine base class above.
+from repro.automata import bitset as _bitset  # noqa: E402,F401  (registration)

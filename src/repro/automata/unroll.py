@@ -13,13 +13,32 @@ the structure the algorithms need:
   memoising the reachable-state set per word.  This memoisation realises the
   paper's amortisation argument (reachable sets of all stored samples are
   precomputed once, so each oracle call is O(1) afterwards).
+
+All simulation is delegated to a pluggable :class:`repro.automata.engine
+.Engine`: the default bitset backend turns every step into a handful of
+word-sized integer operations, while the frozenset reference backend keeps
+the original semantics available for differential testing.  Handle-returning
+methods (``reachable_handle``, ``live_handle``, ``predecessor_handle``) are
+the hot-path API used by the counting layer; the frozenset-returning methods
+remain for compatibility and convenience.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.automata.engine import Engine, create_engine
 from repro.automata.nfa import NFA, State, Symbol, Word, as_word
 from repro.errors import AutomatonError
 
@@ -28,47 +47,57 @@ from repro.errors import AutomatonError
 class ReachabilityCache:
     """Memoises, per word, the set of NFA states reachable on that word.
 
-    The cache is keyed by the word tuple.  Prefix sharing is exploited by
-    storing every prefix encountered while simulating a new word, so the
-    incremental cost of caching a word that extends an already-cached one is
-    a single simulation step.
+    The cache is keyed by the word tuple and stores engine handles.  Prefix
+    sharing is exploited by storing every prefix encountered while simulating
+    a new word, so the incremental cost of caching a word that extends an
+    already-cached one is a single simulation step.
     """
 
     nfa: NFA
+    backend: Optional[str] = None
+    engine: Optional[Engine] = None
 
     def __post_init__(self) -> None:
-        self._cache: Dict[Word, FrozenSet[State]] = {
-            (): frozenset({self.nfa.initial})
-        }
+        if self.engine is None:
+            self.engine = create_engine(self.nfa, self.backend)
+        self.backend = self.engine.name
+        self._cache: Dict[Word, object] = {(): self.engine.initial}
         self.lookups = 0
         self.simulated_steps = 0
 
-    def reachable(self, word: "str | Word") -> FrozenSet[State]:
-        """Return the set of states reachable from the initial state on ``word``."""
+    def reachable_handle(self, word: "str | Word") -> object:
+        """Engine handle of the states reachable on ``word`` (hot path)."""
         word = as_word(word)
         self.lookups += 1
         cached = self._cache.get(word)
         if cached is not None:
             return cached
         # Find the longest cached prefix and extend it one symbol at a time.
+        engine = self.engine
+        cache = self._cache
         prefix_length = len(word) - 1
-        while prefix_length > 0 and word[:prefix_length] not in self._cache:
+        while prefix_length > 0 and word[:prefix_length] not in cache:
             prefix_length -= 1
-        current = self._cache[word[:prefix_length]]
+        current = cache[word[:prefix_length]]
         for position in range(prefix_length, len(word)):
-            current = self.nfa.step(current, word[position])
+            current = engine.step(current, word[position])
             self.simulated_steps += 1
-            self._cache[word[: position + 1]] = current
+            cache[word[: position + 1]] = current
         return current
+
+    def reachable(self, word: "str | Word") -> FrozenSet[State]:
+        """Return the set of states reachable from the initial state on ``word``."""
+        return self.engine.decode(self.reachable_handle(word))
 
     def contains(self, state: State, word: "str | Word") -> bool:
         """Whether ``word`` belongs to ``L(state^{|word|})``."""
-        return state in self.reachable(word)
+        return self.engine.contains(self.reachable_handle(word), state)
 
     def contains_any(self, states: Iterable[State], word: "str | Word") -> bool:
         """Whether ``word`` belongs to ``⋃_{q in states} L(q^{|word|})``."""
-        reachable = self.reachable(word)
-        return any(state in reachable for state in states)
+        handle = self.reachable_handle(word)
+        engine = self.engine
+        return any(engine.contains(handle, state) for state in states)
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -83,6 +112,11 @@ class UnrolledAutomaton:
         The input automaton ``A``.
     length:
         The word length ``n`` (number of layers beyond layer 0).
+    backend:
+        Simulation backend name (``"bitset"`` / ``"reference"``); ``None``
+        selects the default backend.  Ignored when ``engine`` is given.
+    engine:
+        An existing :class:`Engine` for ``nfa`` to share.
 
     Notes
     -----
@@ -91,28 +125,34 @@ class UnrolledAutomaton:
     sets and predecessor queries, which is all the FPRAS needs.
     """
 
-    def __init__(self, nfa: NFA, length: int) -> None:
+    def __init__(
+        self,
+        nfa: NFA,
+        length: int,
+        backend: Optional[str] = None,
+        engine: Optional[Engine] = None,
+    ) -> None:
         if length < 0:
             raise AutomatonError("unrolling length must be non-negative")
         self.nfa = nfa
         self.length = length
-        self.cache = ReachabilityCache(nfa)
-        self._live: List[FrozenSet[State]] = self._compute_live_states()
-        self._nonempty: List[FrozenSet[State]] = self._live
+        self.engine = engine if engine is not None else create_engine(nfa, backend)
+        self.backend = self.engine.name
+        self.cache = ReachabilityCache(nfa, engine=self.engine)
+        self._live_handles: List[object] = self._compute_live_handles()
+        self._live: List[FrozenSet[State]] = [
+            self.engine.decode(handle) for handle in self._live_handles
+        ]
 
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
-    def _compute_live_states(self) -> List[FrozenSet[State]]:
+    def _compute_live_handles(self) -> List[object]:
         """Level-by-level forward reachability: live(l) = {q : L(q^l) != {}}."""
-        levels: List[FrozenSet[State]] = [frozenset({self.nfa.initial})]
+        engine = self.engine
+        levels: List[object] = [engine.initial]
         for _ in range(self.length):
-            previous = levels[-1]
-            current: Set[State] = set()
-            for state in previous:
-                for symbol in self.nfa.alphabet:
-                    current.update(self.nfa.successors(state, symbol))
-            levels.append(frozenset(current))
+            levels.append(engine.step_all(levels[-1]))
         return levels
 
     def live_states(self, level: int) -> FrozenSet[State]:
@@ -120,9 +160,15 @@ class UnrolledAutomaton:
         self._check_level(level)
         return self._live[level]
 
+    def live_handle(self, level: int) -> object:
+        """Engine handle of :meth:`live_states` (hot-path variant)."""
+        self._check_level(level)
+        return self._live_handles[level]
+
     def is_live(self, state: State, level: int) -> bool:
         """Whether ``L(state^level)`` is non-empty."""
-        return state in self.live_states(level)
+        self._check_level(level)
+        return self.engine.contains(self._live_handles[level], state)
 
     def predecessors(self, state: State, symbol: Symbol, level: int) -> FrozenSet[State]:
         """``Pred(q, b)`` restricted to states live at ``level - 1``.
@@ -136,14 +182,22 @@ class UnrolledAutomaton:
             return frozenset()
         return self.nfa.predecessors(state, symbol) & self._live[level - 1]
 
+    def predecessor_handle(self, handle: object, symbol: Symbol, level: int) -> object:
+        """``Pred(Q', b)`` of a handle, restricted to live states (hot path)."""
+        self._check_level(level)
+        engine = self.engine
+        if level == 0:
+            return engine.empty
+        return engine.intersect(
+            engine.pre(handle, symbol), self._live_handles[level - 1]
+        )
+
     def predecessors_of_set(
         self, states: Iterable[State], symbol: Symbol, level: int
     ) -> FrozenSet[State]:
         """Union of ``Pred(q, b)`` over ``q`` in ``states`` (live only)."""
-        result: Set[State] = set()
-        for state in states:
-            result.update(self.predecessors(state, symbol, level))
-        return frozenset(result)
+        handle = self.predecessor_handle(self.engine.encode(states), symbol, level)
+        return self.engine.decode(handle)
 
     def accepting_live_states(self) -> FrozenSet[State]:
         """Accepting states live at the final level ``n``."""
@@ -172,10 +226,28 @@ class UnrolledAutomaton:
 
         return oracle
 
+    def first_containing(
+        self, states: Sequence[State]
+    ) -> Callable[["str | Word", int], int]:
+        """Batched AppUnion membership over an ordered state list.
+
+        Returns ``check(word, upto)`` — the smallest position ``j < upto``
+        with ``word`` in ``L(states[j]^{|word|})``, or ``-1``.  One cached
+        reachability handle answers all the queried states at once, which is
+        the batching the bitset backend turns into single-mask tests.
+        """
+        checker = self.engine.batch_checker(states)
+        reachable_handle = self.cache.reachable_handle
+
+        def check(word: "str | Word", upto: int) -> int:
+            return checker(reachable_handle(word), upto)
+
+        return check
+
     def warm_cache(self, words: Iterable["str | Word"]) -> None:
         """Precompute reachable sets for ``words`` (the amortisation step)."""
         for word in words:
-            self.cache.reachable(word)
+            self.cache.reachable_handle(word)
 
     # ------------------------------------------------------------------
     # Convenience
@@ -210,6 +282,14 @@ class UnrolledAutomaton:
         """Trivial upper bound ``|alphabet|^level`` used for sanity checks."""
         return len(self.nfa.alphabet) ** level
 
+    def engine_counters(self) -> Dict[str, int]:
+        """Mask-level work counters for diagnostics / benchmark reporting."""
+        counters = self.engine.counters()
+        counters["cache_words"] = len(self.cache)
+        counters["cache_lookups"] = self.cache.lookups
+        counters["simulated_steps"] = self.cache.simulated_steps
+        return counters
+
     def _check_level(self, level: int) -> None:
         if not 0 <= level <= self.length:
             raise AutomatonError(
@@ -218,5 +298,6 @@ class UnrolledAutomaton:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"UnrolledAutomaton(states={self.nfa.num_states}, length={self.length})"
+            f"UnrolledAutomaton(states={self.nfa.num_states}, length={self.length}, "
+            f"backend={self.backend!r})"
         )

@@ -15,6 +15,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.automata.engine import DEFAULT_BACKEND, available_backends
 from repro.automata.exact import count_exact
 from repro.automata.families import FAMILY_REGISTRY, build_family
 from repro.automata.nfa import word_to_string
@@ -48,7 +49,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
             print(format_table(rows, title=f"#NFA for {args.family}, n={args.length}"))
             return 0
     result = count_nfa(
-        nfa, args.length, epsilon=args.epsilon, delta=args.delta, seed=args.seed
+        nfa,
+        args.length,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        seed=args.seed,
+        backend=args.backend,
     )
     row = {"method": "fpras", "estimate": result.estimate}
     if rows:
@@ -60,6 +66,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         format_key_values(
             {
                 "states": nfa.num_states,
+                "backend": result.backend,
                 "samples_per_state (ns)": result.ns,
                 "sampling_attempts (xns)": result.xns,
                 "elapsed_seconds": result.elapsed_seconds,
@@ -72,7 +79,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 def _cmd_sample(args: argparse.Namespace) -> int:
     nfa = build_family(args.family, **_family_arguments(args.family_arg))
-    parameters = FPRASParameters(epsilon=args.epsilon, delta=args.delta, seed=args.seed)
+    parameters = FPRASParameters(
+        epsilon=args.epsilon, delta=args.delta, seed=args.seed, backend=args.backend
+    )
     counter = NFACounter(nfa, args.length, parameters)
     sampler = UniformWordSampler(counter)
     estimate = sampler.prepare()
@@ -121,6 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
     count.add_argument("--epsilon", type=float, default=0.3)
     count.add_argument("--delta", type=float, default=0.1)
     count.add_argument("--seed", type=int, default=None)
+    count.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default=DEFAULT_BACKEND,
+        help="NFA simulation engine (bitset is fastest; reference is the frozenset baseline)",
+    )
     count.add_argument("--exact", action="store_true", help="exact count only")
     count.add_argument("--compare", action="store_true", help="exact and FPRAS")
     count.add_argument(
@@ -135,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--epsilon", type=float, default=0.4)
     sample.add_argument("--delta", type=float, default=0.1)
     sample.add_argument("--seed", type=int, default=None)
+    sample.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default=DEFAULT_BACKEND,
+        help="NFA simulation engine backing the counter and sampler",
+    )
     sample.add_argument(
         "--family-arg", action="append", metavar="KEY=VALUE", help="family parameter"
     )

@@ -9,9 +9,9 @@ the approximation schemes avoid.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
+from repro.automata.engine import create_engine
 from repro.automata.nfa import NFA
 from repro.errors import ParameterError
 
@@ -20,9 +20,19 @@ DEFAULT_ENUMERATION_LIMIT = 2_000_000
 
 
 def count_bruteforce(
-    nfa: NFA, length: int, limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT
+    nfa: NFA,
+    length: int,
+    limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT,
+    backend: Optional[str] = None,
 ) -> int:
     """Count ``|L(A_length)|`` by enumerating every word of that length.
+
+    The enumeration walks the prefix tree depth-first, carrying the engine
+    handle of the reachable-state set along each branch so shared prefixes
+    are simulated once and dead branches (empty state sets) are pruned.  No
+    per-(state, level) memoisation is used — every surviving word is visited
+    individually — so the counter stays an oracle methodologically
+    independent of the subset-construction DP in :mod:`repro.automata.exact`.
 
     Raises :class:`~repro.errors.ParameterError` when the enumeration would
     exceed ``limit`` words (pass ``limit=None`` to disable the check).
@@ -34,8 +44,18 @@ def count_bruteforce(
         raise ParameterError(
             f"brute force would enumerate {total_words} words (> limit {limit})"
         )
-    accepted = 0
-    for word in itertools.product(nfa.alphabet, repeat=length):
-        if nfa.accepts(word):
-            accepted += 1
-    return accepted
+    engine = create_engine(nfa, backend)
+    alphabet = nfa.alphabet
+    accepting = engine.accepting
+
+    def count_from(handle: object, remaining: int) -> int:
+        if engine.is_empty(handle):
+            return 0
+        if remaining == 0:
+            return 1 if engine.intersects(handle, accepting) else 0
+        return sum(
+            count_from(engine.step(handle, symbol), remaining - 1)
+            for symbol in alphabet
+        )
+
+    return count_from(engine.initial, length)

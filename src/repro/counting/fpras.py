@@ -63,6 +63,14 @@ class CountResult:
         uniform word sampler).
     sample_counts:
         Number of genuinely drawn (non-padding) samples per (state, level).
+    backend:
+        Name of the simulation engine the run used (``"bitset"`` /
+        ``"reference"``).
+    engine_counters:
+        Mask-level work counters from the engine and the reachability cache
+        (``step_ops``, ``pre_ops``, ``decode_ops``, ``cache_words``,
+        ``cache_lookups``, ``simulated_steps``) — the data behind the
+        backend-comparison benchmarks.
     """
 
     estimate: float
@@ -80,6 +88,8 @@ class CountResult:
     padded_states: int
     state_estimates: Dict[StateLevel, float] = field(default_factory=dict)
     sample_counts: Dict[StateLevel, int] = field(default_factory=dict)
+    backend: str = "unknown"
+    engine_counters: Dict[str, int] = field(default_factory=dict)
 
     def relative_error(self, exact: int) -> float:
         """``|estimate - exact| / exact`` (``inf`` when ``exact`` is 0 and estimate isn't)."""
@@ -124,7 +134,7 @@ class NFACounter:
         self.parameters = parameters if parameters is not None else FPRASParameters()
         seed = self.parameters.seed
         self.rng = rng if rng is not None else random.Random(seed)
-        self.unroll = UnrolledAutomaton(nfa, length)
+        self.unroll = UnrolledAutomaton(nfa, length, backend=self.parameters.backend)
         self.estimates: Dict[StateLevel, float] = {}
         self.samples: Dict[StateLevel, List[Word]] = {}
         self.sampler_statistics = SamplerStatistics()
@@ -172,6 +182,8 @@ class NFACounter:
             padded_states=self._padded_states,
             state_estimates=dict(self.estimates),
             sample_counts=dict(self._sample_counts),
+            backend=self.unroll.backend,
+            engine_counters=self.unroll.engine_counters(),
         )
 
     # ------------------------------------------------------------------
@@ -238,6 +250,7 @@ class NFACounter:
             predecessors = self.unroll.predecessors(state, symbol, level)
             if not predecessors:
                 continue
+            ordered = sorted(predecessors, key=repr)
             accesses = [
                 SetAccess(
                     oracle=self.unroll.membership_oracle(predecessor),
@@ -245,7 +258,7 @@ class NFACounter:
                     size_estimate=self.estimates.get((predecessor, level - 1), 0.0),
                     label=(predecessor, level - 1),
                 )
-                for predecessor in sorted(predecessors, key=repr)
+                for predecessor in ordered
             ]
             result = approximate_union(
                 accesses,
@@ -254,6 +267,7 @@ class NFACounter:
                 size_slack=beta_prime,
                 parameters=self.parameters,
                 rng=self.rng,
+                first_containing=self.unroll.first_containing(ordered),
             )
             self._union_calls += 1
             self._membership_calls += result.membership_calls
@@ -307,6 +321,7 @@ class NFACounter:
             size_slack=beta_prime,
             parameters=self.parameters,
             rng=self.rng,
+            first_containing=self.unroll.first_containing(accepting),
         )
         self._union_calls += 1
         self._membership_calls += result.membership_calls
@@ -346,18 +361,21 @@ def count_nfa(
     delta: float = 0.1,
     seed: Optional[int] = None,
     scale: Optional[ParameterScale] = None,
+    backend: Optional[str] = None,
 ) -> CountResult:
     """One-call convenience wrapper around :class:`NFACounter`.
 
     Parameters mirror the paper's interface: the NFA, the word length ``n``
     (in unary in the paper — an ``int`` here), the accuracy ``epsilon`` and
     the confidence ``delta``.  ``scale`` selects between paper-exact and
-    laptop-scale parameters (see :class:`ParameterScale`).
+    laptop-scale parameters (see :class:`ParameterScale`); ``backend``
+    selects the simulation engine (``None`` for the default bitset backend).
     """
     parameters = FPRASParameters(
         epsilon=epsilon,
         delta=delta,
         scale=scale if scale is not None else ParameterScale.practical(),
         seed=seed,
+        backend=backend,
     )
     return NFACounter(nfa, length, parameters).run()

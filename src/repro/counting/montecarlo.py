@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.automata.engine import create_engine
 from repro.automata.nfa import NFA
 from repro.errors import ParameterError
 
@@ -46,19 +47,26 @@ def count_montecarlo(
     length: int,
     num_samples: int = 10_000,
     seed: Optional[Union[int, random.Random]] = None,
+    backend: Optional[str] = None,
 ) -> MonteCarloEstimate:
-    """Estimate ``|L(A_length)|`` with ``num_samples`` uniform random words."""
+    """Estimate ``|L(A_length)|`` with ``num_samples`` uniform random words.
+
+    Word simulation runs on the selected engine backend (default bitset);
+    the drawn words and acceptance decisions — and therefore the estimate —
+    are backend-independent for a fixed seed.
+    """
     if length < 0:
         raise ParameterError("length must be non-negative")
     if num_samples <= 0:
         raise ParameterError("num_samples must be positive")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    engine = create_engine(nfa, backend)
     alphabet = list(nfa.alphabet)
     total_words = len(alphabet) ** length
     hits = 0
     for _ in range(num_samples):
         word = tuple(rng.choice(alphabet) for _ in range(length))
-        if nfa.accepts(word):
+        if engine.accepts(word):
             hits += 1
     estimate = (hits / num_samples) * total_words
     return MonteCarloEstimate(

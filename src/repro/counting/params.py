@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.automata.engine import DEFAULT_BACKEND, available_backends
 from repro.errors import ParameterError
 
 EULER = math.e
@@ -152,18 +153,33 @@ class FPRASParameters:
 
     The per-instance quantities (``beta``, ``eta``, ``ns`` …) depend on the
     automaton size ``m`` and length ``n`` and are exposed as methods.
+
+    ``backend`` selects the NFA simulation engine every hot loop runs on
+    (see :mod:`repro.automata.engine`): ``"bitset"`` (the default) packs
+    state sets into integer masks, ``"reference"`` keeps the frozenset
+    semantics; ``None`` is normalised to the default backend.  Both
+    backends are observationally identical under a shared seed — the
+    parity test suite enforces it — so the choice only affects speed.
     """
 
     epsilon: float = 0.5
     delta: float = 0.1
     scale: ParameterScale = field(default_factory=ParameterScale.practical)
     seed: Optional[int] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon:
             raise ParameterError("epsilon must be positive")
         if not 0 < self.delta < 1:
             raise ParameterError("delta must lie in (0, 1)")
+        if self.backend is None:
+            object.__setattr__(self, "backend", DEFAULT_BACKEND)
+        if self.backend not in available_backends():
+            raise ParameterError(
+                f"unknown simulation backend {self.backend!r}; "
+                f"available: {list(available_backends())}"
+            )
 
     # ------------------------------------------------------------------
     # Paper formulas (always available, independent of scaling)
@@ -266,6 +282,7 @@ class FPRASParameters:
             "xns_paper": self.xns_paper(length, num_states),
             "xns_operational": self.xns(length, num_states),
             "scale_mode": self.scale.mode,
+            "backend": self.backend,
         }
 
 

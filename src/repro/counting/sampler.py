@@ -85,6 +85,12 @@ class SampleDraw:
     the instance; Algorithm 3 creates a fresh instance (or calls
     :meth:`clear_cache`) per sampling batch so estimates are never reused
     across batches.
+
+    The backward walk tracks the current state set as an opaque engine
+    handle (an integer mask on the bitset backend), so one level of the walk
+    costs a few word operations; handles are hashable and equality-stable
+    across backends, which keeps the union-cache hit pattern — and therefore
+    the RNG stream — identical on every backend.
     """
 
     def __init__(
@@ -101,7 +107,7 @@ class SampleDraw:
         self.parameters = parameters
         self.rng = rng if rng is not None else random.Random()
         self.statistics = SamplerStatistics()
-        self._union_cache: Dict[Tuple[int, FrozenSet[State]], float] = {}
+        self._union_cache: Dict[Tuple[int, object], float] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -125,19 +131,20 @@ class SampleDraw:
         self.statistics.draws += 1
         eta_prime = eta / max(1, 4 * self.unroll.length)
 
+        engine = self.unroll.engine
         phi = gamma0
         word: Word = ()
-        current_states = frozenset(states)
+        current = engine.encode(states)
         for current_level in range(level, 0, -1):
             beta_prime = (1.0 + beta) ** (current_level - 1) - 1.0
             symbol_estimates: Dict[Symbol, float] = {}
-            symbol_predecessors: Dict[Symbol, FrozenSet[State]] = {}
+            symbol_predecessors: Dict[Symbol, object] = {}
             for symbol in self.unroll.nfa.alphabet:
-                predecessors = self.unroll.predecessors_of_set(
-                    current_states, symbol, current_level
+                predecessors = self.unroll.predecessor_handle(
+                    current, symbol, current_level
                 )
                 symbol_predecessors[symbol] = predecessors
-                if not predecessors:
+                if engine.is_empty(predecessors):
                     symbol_estimates[symbol] = 0.0
                     continue
                 symbol_estimates[symbol] = self._estimate_union(
@@ -151,7 +158,7 @@ class SampleDraw:
             branch_probability = symbol_estimates[symbol] / total
             phi /= branch_probability
             word = (symbol,) + word
-            current_states = symbol_predecessors[symbol]
+            current = symbol_predecessors[symbol]
 
         # Base case (level 0).
         if phi > 1.0:
@@ -172,13 +179,17 @@ class SampleDraw:
     # ------------------------------------------------------------------
     def _estimate_union(
         self,
-        predecessors: FrozenSet[State],
+        predecessors: object,
         level: int,
         beta: float,
         eta_prime: float,
         beta_prime: float,
     ) -> float:
-        """``AppUnion`` over ``{L(p^level) : p in predecessors}``."""
+        """``AppUnion`` over ``{L(p^level) : p in predecessors}``.
+
+        ``predecessors`` is an engine handle; it doubles as the memoisation
+        key (handles are hashable and equality matches set equality).
+        """
         cache_key = (level, predecessors)
         if self.parameters.scale.reuse_union_estimates:
             cached = self._union_cache.get(cache_key)
@@ -186,8 +197,9 @@ class SampleDraw:
                 self.statistics.union_cache_hits += 1
                 return cached
 
+        ordered = sorted(self.unroll.engine.decode(predecessors), key=repr)
         accesses: List[SetAccess] = []
-        for state in sorted(predecessors, key=repr):
+        for state in ordered:
             accesses.append(
                 SetAccess(
                     oracle=self.unroll.membership_oracle(state),
@@ -203,6 +215,7 @@ class SampleDraw:
             size_slack=beta_prime,
             parameters=self.parameters,
             rng=self.rng,
+            first_containing=self.unroll.first_containing(ordered),
         )
         self.statistics.union_calls += 1
         self.statistics.membership_calls += result.membership_calls

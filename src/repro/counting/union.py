@@ -115,6 +115,7 @@ def approximate_union(
     parameters: FPRASParameters,
     rng: Optional[random.Random] = None,
     raise_on_exhaustion: bool = False,
+    first_containing: Optional[Callable[[object, int], int]] = None,
 ) -> UnionEstimate:
     """Estimate ``|T_1 ∪ … ∪ T_k|`` (Algorithm 1, ``AppUnion``).
 
@@ -136,6 +137,14 @@ def approximate_union(
         In strict consumption mode, raise :class:`SampleExhaustedError`
         instead of silently stopping early, so tests can observe the event
         the paper bounds in Part 2 of the proof of Theorem 1.
+    first_containing:
+        Optional batched membership primitive: ``first_containing(sigma, i)``
+        returns the smallest index ``j < i`` with ``sigma`` in ``T_j``, or
+        ``-1``.  When supplied (the engine-backed unrolled automaton provides
+        one) it replaces the per-set oracle loop with a single reachability
+        lookup; results and the ``membership_calls`` accounting are identical
+        to the oracle loop — the early-exit scan over earlier sets is simply
+        executed against one precomputed handle.
 
     Returns
     -------
@@ -187,12 +196,19 @@ def approximate_union(
         performed += 1
         if streams[index].exhausted:
             exhausted = True
-        is_unique = True
-        for earlier in range(index):
-            membership_calls += 1
-            if sets[earlier].oracle(sample):
-                is_unique = False
-                break
+        if first_containing is not None:
+            containing = first_containing(sample, index)
+            # Same accounting as the oracle loop: one call per earlier set
+            # checked before the scan stopped (hit at j => j + 1 checks).
+            membership_calls += index if containing < 0 else containing + 1
+            is_unique = containing < 0
+        else:
+            is_unique = True
+            for earlier in range(index):
+                membership_calls += 1
+                if sets[earlier].oracle(sample):
+                    is_unique = False
+                    break
         if is_unique:
             unique_hits += 1
 

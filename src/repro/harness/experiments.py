@@ -15,6 +15,7 @@ numbers.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -36,6 +37,23 @@ from repro.workloads.generator import (
     scaling_suite_length,
     scaling_suite_states,
 )
+
+
+#: Default seed for every experiment entry point.  All estimator randomness
+#: in a run derives from one ``random.Random(seed)`` stream, so a benchmark
+#: invocation is reproducible bit-for-bit — including across simulation
+#: backends, which consume the stream identically (see the parity suite).
+BENCH_SEED = 20240727
+
+
+def _experiment_rng(seed: Optional[int]) -> random.Random:
+    """The single seeded randomness source of one experiment run."""
+    return random.Random(BENCH_SEED if seed is None else seed)
+
+
+def _derive_seed(rng: random.Random) -> int:
+    """A sub-seed for one estimator invocation, drawn from the run stream."""
+    return rng.randrange(2**31)
 
 
 @dataclass
@@ -104,6 +122,8 @@ def run_accuracy(
     epsilon: float = 0.3,
     trials: Optional[int] = None,
     length: Optional[int] = None,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
     **_ignored: object,
 ) -> ExperimentResult:
     """Relative error and guarantee satisfaction across the structured families."""
@@ -112,12 +132,15 @@ def run_accuracy(
         description="FPRAS accuracy vs exact counts (Theorem 3 guarantee)",
     )
     start = time.perf_counter()
+    rng = _experiment_rng(seed)
     trials = trials if trials is not None else (3 if quick else 10)
     length = length if length is not None else (8 if quick else 12)
     suite = accuracy_suite(length=length, epsilon=epsilon)
 
-    def fpras_estimator(nfa, n, seed):
-        return count_nfa(nfa, n, epsilon=epsilon, delta=0.1, seed=seed).estimate
+    def fpras_estimator(nfa, n, trial_seed):
+        return count_nfa(
+            nfa, n, epsilon=epsilon, delta=0.1, seed=trial_seed, backend=backend
+        ).estimate
 
     for workload in suite:
         report = evaluate_accuracy(
@@ -127,6 +150,7 @@ def run_accuracy(
             fpras_estimator,
             epsilon=epsilon,
             trials=trials,
+            base_seed=_derive_seed(rng),
         )
         summary = report.summary()
         summary["states"] = workload.num_states
@@ -143,7 +167,12 @@ def run_accuracy(
 # E3/E4/E5 — runtime scaling in n, m, and 1/eps
 # ----------------------------------------------------------------------
 def _scaling_rows(
-    suite, vary: str, include_acjr: bool, include_montecarlo: bool
+    suite,
+    vary: str,
+    include_acjr: bool,
+    include_montecarlo: bool,
+    rng: random.Random,
+    backend: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
     for workload in suite:
@@ -160,17 +189,19 @@ def _scaling_rows(
             workload.length,
             epsilon=workload.epsilon,
             delta=workload.delta,
-            seed=workload.seed,
+            seed=_derive_seed(rng),
+            backend=backend,
         )
         row["fpras_seconds"] = time.perf_counter() - started
         row["fpras_rel_error"] = fpras.relative_error(exact)
         row["fpras_samples_per_state"] = fpras.ns
+        row["backend"] = fpras.backend
         if include_acjr:
             started = time.perf_counter()
             acjr = ACJRCounter(
                 workload.nfa,
                 workload.length,
-                ACJRParameters(epsilon=workload.epsilon, seed=workload.seed),
+                ACJRParameters(epsilon=workload.epsilon, seed=_derive_seed(rng)),
             ).run()
             row["acjr_seconds"] = time.perf_counter() - started
             row["acjr_rel_error"] = acjr.relative_error(exact)
@@ -178,7 +209,11 @@ def _scaling_rows(
         if include_montecarlo:
             started = time.perf_counter()
             montecarlo = count_montecarlo(
-                workload.nfa, workload.length, num_samples=4000, seed=workload.seed
+                workload.nfa,
+                workload.length,
+                num_samples=4000,
+                seed=_derive_seed(rng),
+                backend=backend,
             )
             row["montecarlo_seconds"] = time.perf_counter() - started
             row["montecarlo_rel_error"] = montecarlo.relative_error(exact)
@@ -193,29 +228,47 @@ def _append_growth_note(result: ExperimentResult, xs: Sequence[float], key: str)
         result.add_note(f"empirical growth exponent of {key}: {exponent:.2f}")
 
 
-def run_scaling_length(quick: bool = True, **_ignored: object) -> ExperimentResult:
+def run_scaling_length(
+    quick: bool = True,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    **_ignored: object,
+) -> ExperimentResult:
     """Runtime growth with the word length n (Theorem 3's n-dependence)."""
     result = ExperimentResult(
         experiment="E3", description="runtime scaling with n (fixed m, epsilon)"
     )
     start = time.perf_counter()
+    rng = _experiment_rng(seed)
     lengths = (4, 6, 8, 10) if quick else (4, 6, 8, 10, 12, 16, 20)
     suite = scaling_suite_length(lengths=lengths)
-    result.rows = _scaling_rows(suite, "n", include_acjr=not quick, include_montecarlo=True)
+    result.rows = _scaling_rows(
+        suite, "n", include_acjr=not quick, include_montecarlo=True,
+        rng=rng, backend=backend,
+    )
     _append_growth_note(result, [float(n) for n in lengths], "fpras_seconds")
     result.elapsed_seconds = time.perf_counter() - start
     return result
 
 
-def run_scaling_states(quick: bool = True, **_ignored: object) -> ExperimentResult:
+def run_scaling_states(
+    quick: bool = True,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    **_ignored: object,
+) -> ExperimentResult:
     """Runtime growth with the automaton size m ("independent of m" claim)."""
     result = ExperimentResult(
         experiment="E4", description="runtime scaling with m (fixed n, epsilon)"
     )
     start = time.perf_counter()
+    rng = _experiment_rng(seed)
     state_counts = (4, 6, 8) if quick else (4, 6, 8, 12, 16, 24)
     suite = scaling_suite_states(state_counts=state_counts)
-    result.rows = _scaling_rows(suite, "m", include_acjr=not quick, include_montecarlo=False)
+    result.rows = _scaling_rows(
+        suite, "m", include_acjr=not quick, include_montecarlo=False,
+        rng=rng, backend=backend,
+    )
     _append_growth_note(result, [float(m) for m in state_counts], "fpras_seconds")
     result.add_note(
         "fpras_samples_per_state stays constant as m grows (paper: independent of m)."
@@ -224,15 +277,24 @@ def run_scaling_states(quick: bool = True, **_ignored: object) -> ExperimentResu
     return result
 
 
-def run_scaling_epsilon(quick: bool = True, **_ignored: object) -> ExperimentResult:
+def run_scaling_epsilon(
+    quick: bool = True,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    **_ignored: object,
+) -> ExperimentResult:
     """Runtime / sample growth as the accuracy target tightens."""
     result = ExperimentResult(
         experiment="E5", description="scaling with 1/epsilon (fixed m, n)"
     )
     start = time.perf_counter()
+    rng = _experiment_rng(seed)
     epsilons = (1.0, 0.5, 0.3) if quick else (1.0, 0.7, 0.5, 0.3, 0.2, 0.1)
     suite = scaling_suite_epsilon(epsilons=epsilons)
-    result.rows = _scaling_rows(suite, "epsilon", include_acjr=False, include_montecarlo=False)
+    result.rows = _scaling_rows(
+        suite, "epsilon", include_acjr=False, include_montecarlo=False,
+        rng=rng, backend=backend,
+    )
     for row, workload in zip(result.rows, suite):
         parameters = FPRASParameters(epsilon=workload.epsilon, delta=workload.delta)
         row["paper_ns_formula"] = parameters.ns_paper(workload.length, workload.num_states)
@@ -243,7 +305,9 @@ def run_scaling_epsilon(quick: bool = True, **_ignored: object) -> ExperimentRes
 # ----------------------------------------------------------------------
 # E6 — the database applications end to end
 # ----------------------------------------------------------------------
-def run_applications(quick: bool = True, **_ignored: object) -> ExperimentResult:
+def run_applications(
+    quick: bool = True, seed: Optional[int] = None, **_ignored: object
+) -> ExperimentResult:
     """RPQ counting, PQE and graph-homomorphism probability via #NFA."""
     from repro.applications.graphdb import GraphDatabase, RegularPathQuery, RPQCounter
     from repro.applications.pqe import (
@@ -262,6 +326,7 @@ def run_applications(quick: bool = True, **_ignored: object) -> ExperimentResult
         description="database applications solved through the #NFA reduction",
     )
     start = time.perf_counter()
+    rng = _experiment_rng(seed)
 
     # Regular path query counting.
     database = GraphDatabase.from_edges(
@@ -278,7 +343,7 @@ def run_applications(quick: bool = True, **_ignored: object) -> ExperimentResult
     query = RegularPathQuery("alice", "(<knows>)*<worksAt>", "acme", max_length=5)
     rpq = RPQCounter(database, query)
     exact = rpq.count_exact()
-    approx = rpq.count_fpras(epsilon=0.3, seed=41)
+    approx = rpq.count_fpras(epsilon=0.3, seed=_derive_seed(rng))
     result.add_row(
         application="RPQ answer count",
         exact=exact,
@@ -298,7 +363,7 @@ def run_applications(quick: bool = True, **_ignored: object) -> ExperimentResult
     path_query = PathQuery(("R", "S"))
     exact_p = exact_probability(pdb, path_query)
     approx_p = evaluate_path_query(
-        pdb, path_query, method="fpras", epsilon=0.3, bits=2, seed=43
+        pdb, path_query, method="fpras", epsilon=0.3, bits=2, seed=_derive_seed(rng)
     )
     result.add_row(
         application="PQE (self-join-free path query)",
@@ -320,7 +385,9 @@ def run_applications(quick: bool = True, **_ignored: object) -> ExperimentResult
     graph.add_edge(1, "m1", "t1", 0.75)
     graph.add_edge(1, "m2", "t1", 0.5)
     exact_h = graph.exact_probability()
-    approx_h = homomorphism_probability(graph, method="fpras", epsilon=0.3, seed=47)
+    approx_h = homomorphism_probability(
+        graph, method="fpras", epsilon=0.3, seed=_derive_seed(rng)
+    )
     result.add_row(
         application="probabilistic graph homomorphism (path)",
         exact=exact_h,
@@ -342,7 +409,11 @@ def run_applications(quick: bool = True, **_ignored: object) -> ExperimentResult
 # E7 — uniformity of the sampler and AppUnion quality (Inv-2 / Theorem 1)
 # ----------------------------------------------------------------------
 def run_uniformity(
-    quick: bool = True, sample_count: Optional[int] = None, **_ignored: object
+    quick: bool = True,
+    sample_count: Optional[int] = None,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    **_ignored: object,
 ) -> ExperimentResult:
     """TV distance of sampled words from uniform on enumerable languages."""
     result = ExperimentResult(
@@ -350,6 +421,7 @@ def run_uniformity(
         description="sampler uniformity (Inv-2) on small, fully enumerable slices",
     )
     start = time.perf_counter()
+    rng = _experiment_rng(seed)
     sample_count = sample_count if sample_count is not None else (300 if quick else 2000)
     instances = [
         ("no_consecutive_ones", families.no_consecutive_ones_nfa(), 8),
@@ -358,7 +430,9 @@ def run_uniformity(
     ]
     for name, nfa, length in instances:
         population = enumerate_slice(nfa, length)
-        parameters = FPRASParameters(epsilon=0.4, delta=0.2, seed=13)
+        parameters = FPRASParameters(
+            epsilon=0.4, delta=0.2, seed=_derive_seed(rng), backend=backend
+        )
         counter = NFACounter(nfa, length, parameters)
         sampler = UniformWordSampler(counter)
         words, report = sampler.sample_with_report(sample_count)

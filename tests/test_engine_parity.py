@@ -1,0 +1,303 @@
+"""Differential parity suite: bitset backend vs the frozenset reference.
+
+The bitset engine is only admissible because it is *observationally
+identical* to the reference semantics.  This suite pins that down at every
+layer:
+
+* engine level — ``accepts`` / ``step`` / ``pre`` / encode-decode round
+  trips agree on ~200 seeded random NFAs plus the structured families;
+* unrolling level — live-state sets per level, live-restricted predecessor
+  sets and witnesses agree;
+* algorithm level — a full FPRAS run with a shared seeded
+  ``random.Random`` produces bit-identical estimates, per-state tables,
+  sample multisets, work counters and uniform-sampler draws on both
+  backends.
+
+Any divergence found here is a bug in one of the backends, not a tolerance
+issue: every assertion is exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.automata import families
+from repro.automata.engine import available_backends, create_engine
+from repro.automata.nfa import NFA
+from repro.automata.random_gen import random_nfa, random_nonempty_nfa
+from repro.automata.unroll import ReachabilityCache, UnrolledAutomaton
+from repro.counting.fpras import NFACounter
+from repro.counting.params import FPRASParameters, ParameterScale
+from repro.counting.uniform import UniformWordSampler
+
+#: Seeds for the random-NFA sweep (~200 automata overall; see the fixtures).
+RANDOM_SWEEP_SEEDS = range(160)
+
+FAMILY_INSTANCES = [
+    ("all_words", families.all_words_nfa()),
+    ("parity_3", families.parity_nfa(3)),
+    ("parity_5_residue_2", families.parity_nfa(5, residue=2)),
+    ("divisibility_5", families.divisibility_nfa(5)),
+    ("divisibility_7", families.divisibility_nfa(7)),
+    ("substring_101", families.substring_nfa("101")),
+    ("substring_0110", families.substring_nfa("0110")),
+    ("suffix_0110", families.suffix_nfa("0110")),
+    ("suffix_10", families.suffix_nfa("10")),
+    ("union_patterns", families.union_of_patterns_nfa(["00", "11", "0101"])),
+    ("blocks_3", families.blocks_nfa(3)),
+    ("ladder_4", families.ladder_nfa(4)),
+    ("no_consecutive_ones", families.no_consecutive_ones_nfa()),
+]
+
+
+def _random_instance(seed: int) -> NFA:
+    """One deterministic random NFA; parameters vary with the seed."""
+    rng = random.Random(seed)
+    num_states = rng.randrange(1, 14)
+    density = rng.choice([0.1, 0.2, 0.35, 0.5])
+    accepting_fraction = rng.choice([0.15, 0.3, 0.6])
+    return random_nfa(
+        num_states,
+        density=density,
+        accepting_fraction=accepting_fraction,
+        seed=seed,
+        ensure_connected=bool(seed % 2),
+    )
+
+
+def _probe_words(nfa: NFA, seed: int, count: int = 25, max_length: int = 9):
+    """Deterministic probe words: short exhaustive ones plus random longer ones."""
+    words = [()]
+    for length in (1, 2, 3):
+        words.extend(itertools.product(nfa.alphabet, repeat=length))
+    rng = random.Random(seed * 7919 + 13)
+    alphabet = list(nfa.alphabet)
+    for _ in range(count):
+        length = rng.randrange(4, max_length + 1)
+        words.append(tuple(rng.choice(alphabet) for _ in range(length)))
+    return words
+
+
+def _engine_pair(nfa: NFA):
+    return create_engine(nfa, "reference"), create_engine(nfa, "bitset")
+
+
+class TestEngineRegistry:
+    def test_both_backends_registered(self):
+        assert "reference" in available_backends()
+        assert "bitset" in available_backends()
+
+    def test_unknown_backend_rejected(self, substring_101_nfa):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            create_engine(substring_101_nfa, "no-such-backend")
+
+
+class TestEngineLevelParity:
+    @pytest.mark.parametrize("seed", RANDOM_SWEEP_SEEDS)
+    def test_random_nfa_simulation_parity(self, seed):
+        nfa = _random_instance(seed)
+        reference, bitset = _engine_pair(nfa)
+        # Structural handles decode identically.
+        assert bitset.decode(bitset.initial) == reference.decode(reference.initial)
+        assert bitset.decode(bitset.accepting) == reference.decode(
+            reference.accepting
+        )
+        for word in _probe_words(nfa, seed):
+            assert bitset.accepts(word) == reference.accepts(word), word
+            assert bitset.reachable_states(word) == reference.reachable_states(
+                word
+            ), word
+
+    @pytest.mark.parametrize("seed", range(0, 40))
+    def test_random_nfa_step_and_pre_parity(self, seed):
+        nfa = _random_instance(seed)
+        reference, bitset = _engine_pair(nfa)
+        rng = random.Random(seed + 10_000)
+        states = sorted(nfa.states, key=repr)
+        for _ in range(20):
+            subset = frozenset(
+                state for state in states if rng.random() < 0.4
+            )
+            handle_ref = reference.encode(subset)
+            handle_bit = bitset.encode(subset)
+            assert bitset.decode(handle_bit) == subset
+            assert reference.count(handle_ref) == bitset.count(handle_bit)
+            for symbol in nfa.alphabet:
+                assert bitset.decode(
+                    bitset.step(handle_bit, symbol)
+                ) == reference.step(handle_ref, symbol)
+                assert bitset.decode(
+                    bitset.pre(handle_bit, symbol)
+                ) == reference.pre(handle_ref, symbol)
+            assert bitset.decode(
+                bitset.step_all(handle_bit)
+            ) == reference.step_all(handle_ref)
+
+    @pytest.mark.parametrize("name,nfa", FAMILY_INSTANCES)
+    def test_family_simulation_parity(self, name, nfa):
+        reference, bitset = _engine_pair(nfa)
+        for word in _probe_words(nfa, seed=len(name)):
+            assert bitset.accepts(word) == reference.accepts(word), (name, word)
+            assert bitset.reachable_states(word) == reference.reachable_states(word)
+
+    def test_accepts_matches_nfa_accepts(self):
+        # The reference engine must agree with the NFA's own simulation too.
+        for name, nfa in FAMILY_INSTANCES[:6]:
+            engine = create_engine(nfa, "bitset")
+            for word in _probe_words(nfa, seed=3):
+                assert engine.accepts(word) == nfa.accepts(word), (name, word)
+
+    def test_unknown_state_contract_identical(self):
+        # Both backends reject unknown states in encode and treat them as
+        # never-contained in batch_checker / contains.
+        from repro.errors import AutomatonError
+
+        nfa = families.substring_nfa("101")
+        for backend in available_backends():
+            engine = create_engine(nfa, backend)
+            with pytest.raises(AutomatonError):
+                engine.encode(["no-such-state"])
+            handle = engine.simulate("101")
+            assert engine.contains(handle, "no-such-state") is False
+            checker = engine.batch_checker(["no-such-state", "done"])
+            assert checker(handle, 1) == -1
+            assert checker(handle, 2) == 1
+
+    def test_batch_checker_matches_contains(self):
+        nfa = families.substring_nfa("101")
+        for backend in available_backends():
+            engine = create_engine(nfa, backend)
+            states = sorted(nfa.states, key=repr)
+            checker = engine.batch_checker(states)
+            for word in _probe_words(nfa, seed=5):
+                handle = engine.simulate(word)
+                for upto in range(len(states) + 1):
+                    expected = -1
+                    for position in range(upto):
+                        if engine.contains(handle, states[position]):
+                            expected = position
+                            break
+                    assert checker(handle, upto) == expected
+
+
+class TestUnrollParity:
+    @pytest.mark.parametrize("seed", range(40, 80))
+    def test_live_states_and_predecessors_parity(self, seed):
+        nfa = _random_instance(seed)
+        length = 6
+        unroll_ref = UnrolledAutomaton(nfa, length, backend="reference")
+        unroll_bit = UnrolledAutomaton(nfa, length, backend="bitset")
+        for level in range(length + 1):
+            assert unroll_bit.live_states(level) == unroll_ref.live_states(level)
+            for state in sorted(nfa.states, key=repr):
+                assert unroll_bit.is_live(state, level) == unroll_ref.is_live(
+                    state, level
+                )
+                for symbol in nfa.alphabet:
+                    assert unroll_bit.predecessors(
+                        state, symbol, level
+                    ) == unroll_ref.predecessors(state, symbol, level)
+
+    @pytest.mark.parametrize("seed", range(80, 100))
+    def test_predecessors_of_set_and_witness_parity(self, seed):
+        nfa = _random_instance(seed)
+        length = 5
+        unroll_ref = UnrolledAutomaton(nfa, length, backend="reference")
+        unroll_bit = UnrolledAutomaton(nfa, length, backend="bitset")
+        rng = random.Random(seed)
+        states = sorted(nfa.states, key=repr)
+        for level in range(length + 1):
+            subset = [state for state in states if rng.random() < 0.5]
+            for symbol in nfa.alphabet:
+                assert unroll_bit.predecessors_of_set(
+                    subset, symbol, level
+                ) == unroll_ref.predecessors_of_set(subset, symbol, level)
+            for state in states:
+                assert unroll_bit.witness(state, level) == unroll_ref.witness(
+                    state, level
+                )
+
+    def test_reachability_cache_parity_and_counters(self, suffix_nfa_0110):
+        cache_ref = ReachabilityCache(suffix_nfa_0110, backend="reference")
+        cache_bit = ReachabilityCache(suffix_nfa_0110, backend="bitset")
+        for word in ("", "0110", "01101", "0", "011", "0110110"):
+            assert cache_bit.reachable(word) == cache_ref.reachable(word)
+        # The prefix-sharing structure (and thus the amortisation accounting)
+        # is representation-independent.
+        assert len(cache_bit) == len(cache_ref)
+        assert cache_bit.simulated_steps == cache_ref.simulated_steps
+        assert cache_bit.lookups == cache_ref.lookups
+
+
+class TestAlgorithmParity:
+    def _run_counter(self, nfa, length, backend, seed):
+        parameters = FPRASParameters(
+            epsilon=0.4,
+            delta=0.2,
+            scale=ParameterScale.practical(sample_cap=8, union_trial_cap=12),
+            seed=seed,
+            backend=backend,
+        )
+        counter = NFACounter(nfa, length, parameters)
+        result = counter.run()
+        return counter, result
+
+    @pytest.mark.parametrize("seed", range(100, 112))
+    def test_fpras_runs_identical_across_backends(self, seed):
+        nfa = random_nonempty_nfa(7, 6, density=0.35, seed=seed)
+        counter_ref, result_ref = self._run_counter(nfa, 6, "reference", seed)
+        counter_bit, result_bit = self._run_counter(nfa, 6, "bitset", seed)
+        assert result_bit.estimate == result_ref.estimate
+        assert result_bit.state_estimates == result_ref.state_estimates
+        assert result_bit.sample_counts == result_ref.sample_counts
+        assert result_bit.union_calls == result_ref.union_calls
+        assert result_bit.membership_calls == result_ref.membership_calls
+        assert result_bit.sample_draws == result_ref.sample_draws
+        assert result_bit.sample_successes == result_ref.sample_successes
+        assert result_bit.padded_states == result_ref.padded_states
+        assert counter_bit.samples == counter_ref.samples
+        assert result_ref.backend == "reference"
+        assert result_bit.backend == "bitset"
+
+    @pytest.mark.parametrize("name,nfa,length", [
+        ("substring_101", families.substring_nfa("101"), 8),
+        ("suffix_0110", families.suffix_nfa("0110"), 7),
+        ("no_consecutive_ones", families.no_consecutive_ones_nfa(), 9),
+    ])
+    def test_family_fpras_parity(self, name, nfa, length):
+        _, result_ref = self._run_counter(nfa, length, "reference", seed=23)
+        _, result_bit = self._run_counter(nfa, length, "bitset", seed=23)
+        assert result_bit.estimate == result_ref.estimate, name
+        assert result_bit.membership_calls == result_ref.membership_calls, name
+
+    def test_uniform_sampler_draws_identical(self, fibonacci_nfa):
+        draws = {}
+        for backend in ("reference", "bitset"):
+            parameters = FPRASParameters(
+                epsilon=0.4, delta=0.2, seed=31, backend=backend
+            )
+            counter = NFACounter(fibonacci_nfa, 7, parameters)
+            sampler = UniformWordSampler(counter, rng=random.Random(99))
+            draws[backend] = sampler.sample_many(25)
+        assert draws["bitset"] == draws["reference"]
+
+    def test_montecarlo_and_bruteforce_backend_agreement(self):
+        from repro.counting.bruteforce import count_bruteforce
+        from repro.counting.montecarlo import count_montecarlo
+
+        for seed in range(112, 118):
+            nfa = _random_instance(seed)
+            assert count_bruteforce(nfa, 7, backend="bitset") == count_bruteforce(
+                nfa, 7, backend="reference"
+            )
+            mc_bit = count_montecarlo(nfa, 7, num_samples=400, seed=5, backend="bitset")
+            mc_ref = count_montecarlo(
+                nfa, 7, num_samples=400, seed=5, backend="reference"
+            )
+            assert mc_bit.estimate == mc_ref.estimate
+            assert mc_bit.hits == mc_ref.hits
