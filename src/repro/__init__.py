@@ -23,7 +23,9 @@ Quickstart::
 from repro.automata import (
     DFA,
     NFA,
+    EngineRegistry,
     UnrolledAutomaton,
+    acquire_engine,
     compile_regex,
     count_exact,
     count_per_state_exact,
@@ -51,6 +53,8 @@ __version__ = "1.0.0"
 __all__ = [
     "NFA",
     "DFA",
+    "EngineRegistry",
+    "acquire_engine",
     "UnrolledAutomaton",
     "compile_regex",
     "determinize",

@@ -22,8 +22,11 @@ from repro.automata.nfa import NFA, Word, word_from_string, word_to_string
 from repro.automata.dfa import DFA, determinize, minimize
 from repro.automata.engine import (
     DEFAULT_BACKEND,
+    SHARED_ENGINE_REGISTRY,
     Engine,
+    EngineRegistry,
     ReferenceEngine,
+    acquire_engine,
     available_backends,
     create_engine,
     register_engine,
@@ -51,9 +54,12 @@ __all__ = [
     "determinize",
     "minimize",
     "DEFAULT_BACKEND",
+    "SHARED_ENGINE_REGISTRY",
     "Engine",
+    "EngineRegistry",
     "ReferenceEngine",
     "BitsetEngine",
+    "acquire_engine",
     "available_backends",
     "create_engine",
     "register_engine",

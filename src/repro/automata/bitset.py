@@ -39,6 +39,12 @@ _CHUNK_MASK = _CHUNK_SIZE - 1
 #: mask is ``v << (8 c)``.
 ChunkTables = List[List[int]]
 
+#: Cap on memoised decoded frozensets per engine.  Engines held by the
+#: shared registry live for the whole process, so the decode memo must not
+#: grow without bound (up to 2^m distinct masks exist); one FPRAS run
+#: touches far fewer distinct sets than this.
+_DECODE_CACHE_LIMIT = 1 << 16
+
 
 def _chunk_tables(rows: List[int], size: int) -> ChunkTables:
     """Byte-chunked lookup tables for a relation given as per-state masks.
@@ -64,7 +70,20 @@ def _chunk_tables(rows: List[int], size: int) -> ChunkTables:
 
 
 class BitsetEngine(Engine):
-    """Integer-bitmask implementation of the :class:`Engine` interface."""
+    """Integer-bitmask implementation of the :class:`Engine` interface.
+
+    >>> from repro.automata.nfa import NFA
+    >>> nfa = NFA.build(
+    ...     [("s", "0", "s"), ("s", "1", "t"), ("t", "0", "t"), ("t", "1", "t")],
+    ...     initial="s", accepting=["t"])
+    >>> engine = BitsetEngine(nfa)
+    >>> bin(engine.simulate("01"))    # one bit per state, here just {t}
+    '0b10'
+    >>> sorted(engine.decode(engine.simulate("01")))
+    ['t']
+    >>> engine.accepts("01"), engine.accepts("00")
+    (True, False)
+    """
 
     name = "bitset"
 
@@ -134,20 +153,24 @@ class BitsetEngine(Engine):
     # ------------------------------------------------------------------
     @property
     def initial(self) -> int:
+        """Mask with only the initial state's bit set."""
         return self._initial
 
     @property
     def accepting(self) -> int:
+        """Mask of the accepting state set ``F``."""
         return self._accepting
 
     @property
     def empty(self) -> int:
+        """The empty mask (integer zero)."""
         return 0
 
     # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
     def encode(self, states: Iterable[State]) -> int:
+        """OR together the bits of ``states`` (unknown states are an error)."""
         mask = 0
         index = self._index
         for state in states:
@@ -160,6 +183,13 @@ class BitsetEngine(Engine):
         return mask
 
     def decode(self, handle: int) -> FrozenSet[State]:
+        """Frozenset of the set bits, memoised per distinct mask.
+
+        The memo is bounded by :data:`_DECODE_CACHE_LIMIT` so that engines
+        pinned by the shared registry cannot accumulate unbounded decoded
+        sets over a long-running process; past the limit the decode is
+        still computed, just not remembered.
+        """
         cached = self._decode_cache.get(handle)
         if cached is not None:
             return cached
@@ -172,7 +202,8 @@ class BitsetEngine(Engine):
             members.append(states[low.bit_length() - 1])
             mask ^= low
         result = frozenset(members)
-        self._decode_cache[handle] = result
+        if len(self._decode_cache) < _DECODE_CACHE_LIMIT:
+            self._decode_cache[handle] = result
         return result
 
     def state_index(self, state: State) -> int:
@@ -183,6 +214,7 @@ class BitsetEngine(Engine):
     # Set algebra
     # ------------------------------------------------------------------
     def step(self, handle: int, symbol: Symbol) -> int:
+        """Forward image via the per-symbol chunked lookup tables."""
         self.step_ops += 1
         tables = self._fwd.get(symbol)
         if tables is None:
@@ -192,10 +224,12 @@ class BitsetEngine(Engine):
         return self._image(tables, handle)
 
     def step_all(self, handle: int) -> int:
+        """Forward image under any symbol (one unrolling level)."""
         self.step_ops += 1
         return self._image(self._fwd_all, handle)
 
     def pre(self, handle: int, symbol: Symbol) -> int:
+        """Reverse image via the per-symbol reverse tables."""
         self.pre_ops += 1
         tables = self._rev.get(symbol)
         if tables is None:
@@ -203,32 +237,81 @@ class BitsetEngine(Engine):
         return self._image(tables, handle)
 
     def intersect(self, first: int, second: int) -> int:
+        """Bitwise AND of two masks."""
         return first & second
 
     def union(self, first: int, second: int) -> int:
+        """Bitwise OR of two masks."""
         return first | second
 
     def contains(self, handle: int, state: State) -> bool:
+        """Single-bit membership test (unknown states are never contained)."""
         index = self._index.get(state)
         if index is None:
             return False
         return bool(handle >> index & 1)
 
     def is_empty(self, handle: int) -> bool:
+        """Whether the mask is zero."""
         return handle == 0
 
     def intersects(self, first: int, second: int) -> bool:
+        """Whether the masks share a set bit."""
         return (first & second) != 0
 
     def count(self, handle: int) -> int:
+        """Population count of the mask."""
         return handle.bit_count()
+
+    # ------------------------------------------------------------------
+    # Batched simulation
+    # ------------------------------------------------------------------
+    def _extend_batch(self, stack: List[int], word: Tuple[Symbol, ...], start: int) -> int:
+        """Mask-resident fast path of :meth:`Engine._extend_batch`.
+
+        The current state set stays in a local integer for the whole
+        extension and the byte-chunked table lookup is inlined, so a batch
+        of words costs a tight arithmetic loop with no per-step method
+        dispatch.  Step accounting matches the generic implementation
+        exactly (one ``step_ops`` increment per performed step), keeping
+        the work counters backend-independent.
+        """
+        current = stack[start]
+        fwd = self._fwd
+        append = stack.append
+        steps = 0
+        for position in range(start, len(word)):
+            if not current:
+                break
+            steps += 1
+            tables = fwd.get(word[position])
+            if tables is None:
+                current = 0
+            else:
+                image = 0
+                mask = current
+                chunk = 0
+                while mask:
+                    byte = mask & _CHUNK_MASK
+                    if byte:
+                        image |= tables[chunk][byte]
+                    mask >>= _CHUNK_BITS
+                    chunk += 1
+                current = image
+            append(current)
+        self.step_ops += steps
+        return current
 
     # ------------------------------------------------------------------
     # Batched membership
     # ------------------------------------------------------------------
     def batch_checker(self, states: Sequence[State]) -> Callable[[int, int], int]:
-        # States outside the automaton can never be contained in a handle
-        # (bit 0 matches the reference engine's "not in frozenset").
+        """Positional membership over a fixed state list, one mask test each.
+
+        States outside the automaton get a zero bit, so they can never be
+        contained in a handle (matching the reference engine's "not in
+        frozenset" behaviour).
+        """
         index = self._index
         bits = tuple(
             1 << index[state] if state in index else 0 for state in states

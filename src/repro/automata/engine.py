@@ -19,14 +19,41 @@ which in turn guarantees that an FPRAS run with a shared seed yields
 bit-identical estimates and sampler draws on every backend.
 
 Engines also keep cheap work counters (``step_ops``, ``pre_ops``,
-``decode_ops``) which the counting layer surfaces through
+``decode_ops``, plus the batch counters ``batch_calls`` / ``batch_words`` /
+``batch_steps_saved``) which the counting layer surfaces through
 :class:`repro.counting.fpras.CountResult` diagnostics and the benchmark
 harness.
+
+Two layers of amortisation live here:
+
+* **batched simulation** — :meth:`Engine.simulate_batch` and
+  :meth:`Engine.membership_batch` process a whole multiset of words at
+  once, sorting it so that words sharing a prefix step through that prefix
+  exactly once (a trie walk without building the trie);
+* **engine reuse** — :class:`EngineRegistry` memoises engines (and hence
+  their precomputed transition tables) per ``(nfa, backend)``, so several
+  counters, samplers or caches over the same automaton share one engine
+  instead of rebuilding identical lookup tables.  :func:`acquire_engine`
+  is the front door the rest of the codebase uses.
+
+Example::
+
+    >>> from repro.automata.nfa import NFA
+    >>> nfa = NFA.build(
+    ...     [("s", "0", "s"), ("s", "1", "t"), ("t", "0", "t"), ("t", "1", "t")],
+    ...     initial="s", accepting=["t"])
+    >>> engine = create_engine(nfa, "bitset")
+    >>> engine.accepts("01")
+    True
+    >>> engine.membership_batch(["0", "01"], ["s", "t"])
+    [0, 1]
 """
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from typing import (
     Callable,
     Dict,
@@ -36,6 +63,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.automata.nfa import NFA, State, Symbol, Word, as_word
@@ -43,6 +71,10 @@ from repro.errors import AutomatonError, ParameterError
 
 #: The backend used when callers do not ask for a specific one.
 DEFAULT_BACKEND = "bitset"
+
+#: ``upto`` argument of :meth:`Engine.membership_batch`: one bound for every
+#: word, a per-word sequence of bounds, or ``None`` for "all states".
+UptoSpec = Union[None, int, Sequence[int]]
 
 
 class Engine(ABC):
@@ -62,6 +94,9 @@ class Engine(ABC):
         self.step_ops = 0
         self.pre_ops = 0
         self.decode_ops = 0
+        self.batch_calls = 0
+        self.batch_words = 0
+        self.batch_steps_saved = 0
 
     # ------------------------------------------------------------------
     # Primitive handles
@@ -179,14 +214,149 @@ class Engine(ABC):
         return self.decode(self.simulate(word))
 
     # ------------------------------------------------------------------
+    # Batched word-level operations
+    # ------------------------------------------------------------------
+    def _extend_batch(
+        self, stack: List[object], word: Word, start: int
+    ) -> object:
+        """Extend the prefix-handle ``stack`` with ``word[start:]``.
+
+        ``stack[d]`` holds the handle after the first ``d`` symbols of the
+        word being simulated; the method appends one handle per performed
+        step and stops early once the state set becomes empty (mirroring
+        :meth:`simulate`).  Backends may override this with a representation
+        -specific fast path, but must keep the step accounting identical.
+        """
+        current = stack[start]
+        for position in range(start, len(word)):
+            if self.is_empty(current):
+                break
+            current = self.step(current, word[position])
+            stack.append(current)
+        return current
+
+    def simulate_batch(self, words: Sequence["str | Word"]) -> List[object]:
+        """Handles of :meth:`simulate` for a whole multiset of words.
+
+        The multiset is processed in sorted order so that consecutive words
+        share their longest common prefix: the shared prefix is stepped
+        exactly once and its intermediate handles are kept resident on a
+        stack (a trie walk that never builds the trie).  Results come back
+        in input order and each equals the corresponding per-word
+        :meth:`simulate` handle; only the amount of stepping work differs,
+        which the ``batch_steps_saved`` counter records.
+
+        >>> from repro.automata.nfa import NFA
+        >>> nfa = NFA.build(
+        ...     [("s", "0", "s"), ("s", "1", "t"), ("t", "0", "t"), ("t", "1", "t")],
+        ...     initial="s", accepting=["t"])
+        >>> engine = create_engine(nfa, "bitset")
+        >>> [sorted(engine.decode(h)) for h in engine.simulate_batch(["0", "01", "01"])]
+        [['s'], ['t'], ['t']]
+        >>> engine.batch_steps_saved  # shared "0" prefix + the duplicate "01"
+        3
+        """
+        normalized = [
+            word if type(word) is tuple else as_word(word) for word in words
+        ]
+        self.batch_calls += 1
+        self.batch_words += len(normalized)
+        results: List[object] = [self.initial] * len(normalized)
+        order = sorted(enumerate(normalized), key=lambda pair: pair[1])
+        stack: List[object] = [self.initial]
+        previous: Word = ()
+        saved = 0
+        is_empty = self.is_empty
+        extend = self._extend_batch
+        for position, word in order:
+            shared = 0
+            limit = min(len(previous), len(word))
+            while shared < limit and previous[shared] == word[shared]:
+                shared += 1
+            del stack[shared + 1 :]
+            depth_before = len(stack)
+            current = extend(stack, word, shared)
+            depth = len(stack) - 1
+            performed = depth + 1 - depth_before
+            if is_empty(current):
+                # A dead prefix: per-word simulation would have stopped at
+                # the first empty handle (always the last stack entry).
+                full_cost = min(len(word), depth)
+            else:
+                full_cost = len(word)
+            saved += full_cost - performed
+            results[position] = current
+            previous = word if depth == len(word) else word[:depth]
+        self.batch_steps_saved += saved
+        return results
+
+    def accepts_batch(self, words: Sequence["str | Word"]) -> List[bool]:
+        """Vector of :meth:`accepts` answers, sharing prefixes across words."""
+        accepting = self.accepting
+        return [
+            self.intersects(handle, accepting)
+            for handle in self.simulate_batch(words)
+        ]
+
+    def membership_batch(
+        self,
+        words: Sequence["str | Word"],
+        states: Sequence[State],
+        upto: UptoSpec = None,
+    ) -> List[int]:
+        """Batched first-containing-state queries over a word multiset.
+
+        For each word the result is the smallest position ``j < upto`` such
+        that ``states[j]`` is reachable on that word, or ``-1`` — exactly
+        the per-word combination of :meth:`simulate` and
+        :meth:`batch_checker`, but with all reachability handles computed by
+        one :meth:`simulate_batch` pass.  ``upto`` may be ``None`` (all
+        states), one bound shared by every word, or a per-word sequence.
+        This is the membership primitive behind AppUnion's "first earlier
+        set containing the sample" inner loop.
+
+        >>> from repro.automata.nfa import NFA
+        >>> nfa = NFA.build(
+        ...     [("s", "0", "s"), ("s", "1", "t"), ("t", "0", "t"), ("t", "1", "t")],
+        ...     initial="s", accepting=["t"])
+        >>> engine = create_engine(nfa, "reference")
+        >>> engine.membership_batch(["0", "01", "01"], ["s", "t"], upto=[2, 2, 1])
+        [0, 1, -1]
+        """
+        count = len(words)
+        if upto is None:
+            bounds: Sequence[int] = [len(states)] * count
+        elif isinstance(upto, int):
+            bounds = [upto] * count
+        else:
+            bounds = list(upto)
+            if len(bounds) != count:
+                raise ParameterError(
+                    f"membership_batch got {count} words but {len(bounds)} bounds"
+                )
+        checker = self.batch_checker(states)
+        handles = self.simulate_batch(words)
+        return [checker(handle, bound) for handle, bound in zip(handles, bounds)]
+
+    # ------------------------------------------------------------------
     # Diagnostics
     # ------------------------------------------------------------------
     def counters(self) -> Dict[str, int]:
-        """Snapshot of the engine-level work counters."""
+        """Snapshot of the engine-level work counters.
+
+        ``step_ops`` / ``pre_ops`` / ``decode_ops`` count primitive set
+        operations; ``batch_calls`` / ``batch_words`` count invocations of
+        the batched word-level API and the words they covered, and
+        ``batch_steps_saved`` counts simulation steps the prefix sharing
+        avoided compared to per-word simulation.
+        """
         return {
             "step_ops": self.step_ops,
             "pre_ops": self.pre_ops,
             "decode_ops": self.decode_ops,
+            "batch_calls": self.batch_calls,
+            "batch_words": self.batch_words,
+            "batch_steps_saved": self.batch_steps_saved,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -214,17 +384,21 @@ class ReferenceEngine(Engine):
 
     @property
     def initial(self) -> FrozenSet[State]:
+        """``{initial}`` as a frozenset handle."""
         return self._initial
 
     @property
     def accepting(self) -> FrozenSet[State]:
+        """The accepting set ``F`` as a frozenset handle."""
         return self._accepting
 
     @property
     def empty(self) -> FrozenSet[State]:
+        """The empty frozenset handle."""
         return self._empty
 
     def encode(self, states: Iterable[State]) -> FrozenSet[State]:
+        """Freeze ``states`` into a handle, validating membership in ``Q``."""
         result = frozenset(states)
         if not result <= self._all_states:
             unknown = next(iter(result - self._all_states))
@@ -234,10 +408,12 @@ class ReferenceEngine(Engine):
         return result
 
     def decode(self, handle: FrozenSet[State]) -> FrozenSet[State]:
+        """Identity — reference handles already are frozensets."""
         self.decode_ops += 1
         return handle
 
     def step(self, handle: FrozenSet[State], symbol: Symbol) -> FrozenSet[State]:
+        """Union of the memoised successor sets of every state in the handle."""
         self.step_ops += 1
         result: set = set()
         for state in handle:
@@ -245,6 +421,7 @@ class ReferenceEngine(Engine):
         return frozenset(result)
 
     def step_all(self, handle: FrozenSet[State]) -> FrozenSet[State]:
+        """Forward image under every alphabet symbol at once."""
         self.step_ops += 1
         result: set = set()
         for state in handle:
@@ -253,6 +430,7 @@ class ReferenceEngine(Engine):
         return frozenset(result)
 
     def pre(self, handle: FrozenSet[State], symbol: Symbol) -> FrozenSet[State]:
+        """Union of the memoised predecessor sets (the paper's ``Pred``)."""
         self.pre_ops += 1
         result: set = set()
         for state in handle:
@@ -262,23 +440,29 @@ class ReferenceEngine(Engine):
     def intersect(
         self, first: FrozenSet[State], second: FrozenSet[State]
     ) -> FrozenSet[State]:
+        """Set intersection of two handles."""
         return first & second
 
     def union(
         self, first: FrozenSet[State], second: FrozenSet[State]
     ) -> FrozenSet[State]:
+        """Set union of two handles."""
         return first | second
 
     def contains(self, handle: FrozenSet[State], state: State) -> bool:
+        """Frozenset membership test (unknown states are never contained)."""
         return state in handle
 
     def is_empty(self, handle: FrozenSet[State]) -> bool:
+        """Whether the frozenset is empty."""
         return not handle
 
     def intersects(self, first: FrozenSet[State], second: FrozenSet[State]) -> bool:
+        """Whether the two frozensets share a state."""
         return not first.isdisjoint(second)
 
     def count(self, handle: FrozenSet[State]) -> int:
+        """Cardinality of the frozenset."""
         return len(handle)
 
 
@@ -303,9 +487,19 @@ def available_backends() -> Tuple[str, ...]:
 
 
 def create_engine(nfa: NFA, backend: Optional[str] = None) -> Engine:
-    """Instantiate a simulation engine for ``nfa``.
+    """Instantiate a *fresh* simulation engine for ``nfa``.
 
     ``backend`` is a registry name; ``None`` selects :data:`DEFAULT_BACKEND`.
+    Construction builds the backend's lookup tables from scratch — callers
+    on a hot path should prefer :func:`acquire_engine`, which memoises
+    engines per ``(nfa, backend)`` in the shared :class:`EngineRegistry`.
+
+    >>> from repro.automata.nfa import NFA
+    >>> nfa = NFA.build([("a", "0", "a")], initial="a", accepting=["a"])
+    >>> create_engine(nfa).name
+    'bitset'
+    >>> create_engine(nfa, "reference").name
+    'reference'
     """
     key = backend if backend is not None else DEFAULT_BACKEND
     try:
@@ -315,6 +509,139 @@ def create_engine(nfa: NFA, backend: Optional[str] = None) -> Engine:
             f"unknown simulation backend {key!r}; available: {list(available_backends())}"
         ) from None
     return factory(nfa)
+
+
+# ----------------------------------------------------------------------
+# Shared engine instances
+# ----------------------------------------------------------------------
+class EngineRegistry:
+    """LRU memoisation of engine instances per ``(nfa, backend)``.
+
+    :class:`~repro.automata.nfa.NFA` values are immutable and hashable on
+    structural content, so two automata built independently from the same
+    transitions share one registry slot — a second
+    :class:`~repro.counting.fpras.NFACounter`, reachability cache or union
+    estimator over the same automaton reuses the already-built transition
+    tables instead of reconstructing them.  Engines are immutable apart
+    from their diagnostic counters and decode cache, which makes sharing
+    observationally safe: results never depend on who else used the engine.
+
+    The registry is bounded (``max_entries``, least-recently-used
+    eviction) so long-running processes touching many automata cannot
+    accumulate unbounded table memory; per-engine decode memos are bounded
+    separately by the backends (see ``BitsetEngine``).
+
+    Registry operations themselves are guarded by a lock, so concurrent
+    acquisitions cannot corrupt the LRU structure (a miss builds the engine
+    under the lock, serialising concurrent builds).  The *engines* handed
+    out are shared mutable objects whose diagnostic counters
+    (``step_ops``, ``batch_*``, the decode memo) are not synchronised:
+    concurrent use from several threads never changes simulation results
+    (transition tables are immutable) but can skew per-run counter deltas.
+    The codebase drives engines from one thread at a time; callers that
+    need isolated diagnostics under concurrency should acquire private
+    engines (``use_cache=False``).
+
+    >>> from repro.automata.nfa import NFA
+    >>> registry = EngineRegistry(max_entries=8)
+    >>> nfa = NFA.build([("a", "0", "a")], initial="a", accepting=["a"])
+    >>> engine = registry.get(nfa, "bitset")
+    >>> registry.get(nfa, "bitset") is engine   # memoised
+    True
+    >>> twin = NFA.build([("a", "0", "a")], initial="a", accepting=["a"])
+    >>> registry.get(twin, "bitset") is engine  # keyed by value, not identity
+    True
+    >>> (registry.hits, registry.misses)
+    (2, 1)
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ParameterError("EngineRegistry needs room for at least one engine")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[NFA, str], Engine]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def acquire(self, nfa: NFA, backend: Optional[str] = None) -> Tuple[Engine, bool]:
+        """The shared engine for ``(nfa, backend)`` plus whether it was cached.
+
+        The lookup, hit accounting and LRU maintenance happen atomically,
+        so the hit flag is reliable even with concurrent callers.
+        """
+        key = (nfa, backend if backend is not None else DEFAULT_BACKEND)
+        with self._lock:
+            engine = self._entries.get(key)
+            if engine is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return engine, True
+            self.misses += 1
+            engine = create_engine(nfa, key[1])
+            self._entries[key] = engine
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return engine, False
+
+    def get(self, nfa: NFA, backend: Optional[str] = None) -> Engine:
+        """The shared engine for ``(nfa, backend)``, building it on first use."""
+        return self.acquire(nfa, backend)[0]
+
+    def clear(self) -> None:
+        """Drop every memoised engine (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/size diagnostics of the registry."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple[NFA, str]) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+#: The process-wide registry used by :func:`acquire_engine` by default.
+SHARED_ENGINE_REGISTRY = EngineRegistry()
+
+
+def acquire_engine(
+    nfa: NFA,
+    backend: Optional[str] = None,
+    use_cache: bool = True,
+    registry: Optional[EngineRegistry] = None,
+) -> Tuple[Engine, bool]:
+    """An engine for ``nfa`` plus whether it came from the shared registry.
+
+    This is the acquisition path every component uses: with ``use_cache``
+    (the default) the engine is memoised in ``registry`` (defaulting to
+    :data:`SHARED_ENGINE_REGISTRY`); ``use_cache=False`` — the CLI's
+    ``--no-engine-cache`` escape hatch — always builds a private engine,
+    which is useful for isolated timing and for ruling the cache out when
+    debugging.
+
+    >>> from repro.automata.nfa import NFA
+    >>> nfa = NFA.build([("a", "0", "a")], initial="a", accepting=["a"])
+    >>> engine, from_cache = acquire_engine(nfa, "reference", registry=EngineRegistry())
+    >>> from_cache
+    False
+    >>> acquire_engine(nfa, use_cache=False)[1]
+    False
+    """
+    if not use_cache:
+        return create_engine(nfa, backend), False
+    target = registry if registry is not None else SHARED_ENGINE_REGISTRY
+    return target.acquire(nfa, backend)
 
 
 # Import for the side effect of registering the bitset backend.  Placed at

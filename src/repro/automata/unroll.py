@@ -38,7 +38,7 @@ from typing import (
     Tuple,
 )
 
-from repro.automata.engine import Engine, create_engine
+from repro.automata.engine import Engine, acquire_engine
 from repro.automata.nfa import NFA, State, Symbol, Word, as_word
 from repro.errors import AutomatonError
 
@@ -51,30 +51,42 @@ class ReachabilityCache:
     sharing is exploited by storing every prefix encountered while simulating
     a new word, so the incremental cost of caching a word that extends an
     already-cached one is a single simulation step.
+    :meth:`reachable_handle_batch` answers a whole multiset at once —
+    duplicates cost one dictionary probe and fresh words are materialised in
+    sorted order so they extend each other's prefixes through the cache.
+
+    The engine is acquired through the shared
+    :class:`~repro.automata.engine.EngineRegistry` unless ``use_engine_cache``
+    is ``False`` (or an explicit ``engine`` is supplied), so several caches
+    over the same automaton share one set of transition tables.
     """
 
     nfa: NFA
     backend: Optional[str] = None
     engine: Optional[Engine] = None
+    use_engine_cache: bool = True
 
     def __post_init__(self) -> None:
+        self.engine_cache_hit = False
         if self.engine is None:
-            self.engine = create_engine(self.nfa, self.backend)
+            self.engine, self.engine_cache_hit = acquire_engine(
+                self.nfa, self.backend, use_cache=self.use_engine_cache
+            )
         self.backend = self.engine.name
         self._cache: Dict[Word, object] = {(): self.engine.initial}
         self.lookups = 0
         self.simulated_steps = 0
+        self.batch_lookups = 0
+        self.batch_words = 0
+        self.batch_hits = 0
 
-    def reachable_handle(self, word: "str | Word") -> object:
-        """Engine handle of the states reachable on ``word`` (hot path)."""
-        word = as_word(word)
-        self.lookups += 1
-        cached = self._cache.get(word)
+    def _materialise(self, word: Word) -> object:
+        """Handle for ``word``, extending the longest cached prefix."""
+        cache = self._cache
+        cached = cache.get(word)
         if cached is not None:
             return cached
-        # Find the longest cached prefix and extend it one symbol at a time.
         engine = self.engine
-        cache = self._cache
         prefix_length = len(word) - 1
         while prefix_length > 0 and word[:prefix_length] not in cache:
             prefix_length -= 1
@@ -84,6 +96,48 @@ class ReachabilityCache:
             self.simulated_steps += 1
             cache[word[: position + 1]] = current
         return current
+
+    def reachable_handle(self, word: "str | Word") -> object:
+        """Engine handle of the states reachable on ``word`` (hot path)."""
+        word = as_word(word)
+        self.lookups += 1
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        return self._materialise(word)
+
+    def reachable_handle_batch(
+        self, words: Sequence["str | Word"]
+    ) -> List[object]:
+        """Handles for a whole multiset of words, in input order.
+
+        Cached words (the common case once Algorithm 3 has warmed the
+        stored samples) cost one dictionary probe each; the remaining
+        distinct words are materialised in sorted order, so a fresh word
+        extends the prefixes just cached by its predecessors.  The
+        ``lookups`` / ``simulated_steps`` accounting is identical to
+        looping over :meth:`reachable_handle` — the cache stores every
+        prefix, making the total step count order-independent.
+        """
+        normalized = [
+            word if type(word) is tuple else as_word(word) for word in words
+        ]
+        self.lookups += len(normalized)
+        self.batch_lookups += 1
+        self.batch_words += len(normalized)
+        cache = self._cache
+        results: List[object] = [None] * len(normalized)
+        missing: List[int] = []
+        for position, word in enumerate(normalized):
+            handle = cache.get(word)
+            if handle is None:
+                missing.append(position)
+            else:
+                self.batch_hits += 1
+                results[position] = handle
+        for position in sorted(missing, key=lambda i: normalized[i]):
+            results[position] = self._materialise(normalized[position])
+        return results
 
     def reachable(self, word: "str | Word") -> FrozenSet[State]:
         """Return the set of states reachable from the initial state on ``word``."""
@@ -117,12 +171,22 @@ class UnrolledAutomaton:
         selects the default backend.  Ignored when ``engine`` is given.
     engine:
         An existing :class:`Engine` for ``nfa`` to share.
+    use_engine_cache:
+        When ``True`` (the default) the engine is acquired from the shared
+        :class:`~repro.automata.engine.EngineRegistry`, so unrollings of the
+        same automaton reuse one set of transition tables; ``False`` builds
+        a private engine (the CLI's ``--no-engine-cache``).
 
     Notes
     -----
     States of the unrolling are pairs ``(q, l)`` conceptually; the class
     never materialises them explicitly — it exposes the per-level live state
     sets and predecessor queries, which is all the FPRAS needs.
+
+    Because engines may be shared, the instance snapshots the engine's work
+    counters at construction; :meth:`engine_counters` reports the delta, i.e.
+    the work attributable to this unrolling (exact when instances do not
+    interleave engine use, which is the case for sequential FPRAS runs).
     """
 
     def __init__(
@@ -131,13 +195,21 @@ class UnrolledAutomaton:
         length: int,
         backend: Optional[str] = None,
         engine: Optional[Engine] = None,
+        use_engine_cache: bool = True,
     ) -> None:
         if length < 0:
             raise AutomatonError("unrolling length must be non-negative")
         self.nfa = nfa
         self.length = length
-        self.engine = engine if engine is not None else create_engine(nfa, backend)
+        if engine is not None:
+            self.engine = engine
+            self.engine_cache_hit = False
+        else:
+            self.engine, self.engine_cache_hit = acquire_engine(
+                nfa, backend, use_cache=use_engine_cache
+            )
         self.backend = self.engine.name
+        self._counter_base: Dict[str, int] = dict(self.engine.counters())
         self.cache = ReachabilityCache(nfa, engine=self.engine)
         self._live_handles: List[object] = self._compute_live_handles()
         self._live: List[FrozenSet[State]] = [
@@ -244,6 +316,34 @@ class UnrolledAutomaton:
 
         return check
 
+    def first_containing_batch(
+        self, states: Sequence[State]
+    ) -> Callable[[Sequence[Tuple["str | Word", int]]], List[int]]:
+        """Batched form of :meth:`first_containing` over a query multiset.
+
+        Returns ``check_batch(queries)`` where ``queries`` is a sequence of
+        ``(word, upto)`` pairs; the result list holds, per query, the
+        smallest position ``j < upto`` with ``word`` in
+        ``L(states[j]^{|word|})``, or ``-1``.  All reachability handles are
+        resolved by one :meth:`ReachabilityCache.reachable_handle_batch`
+        pass, so a whole AppUnion trial block costs one dictionary probe per
+        stored sample instead of a call chain per trial.  Answers and
+        accounting are identical to looping over :meth:`first_containing`.
+        """
+        checker = self.engine.batch_checker(states)
+        reachable_handle_batch = self.cache.reachable_handle_batch
+
+        def check_batch(
+            queries: Sequence[Tuple["str | Word", int]]
+        ) -> List[int]:
+            handles = reachable_handle_batch([word for word, _ in queries])
+            return [
+                checker(handle, upto)
+                for handle, (_, upto) in zip(handles, queries)
+            ]
+
+        return check_batch
+
     def warm_cache(self, words: Iterable["str | Word"]) -> None:
         """Precompute reachable sets for ``words`` (the amortisation step)."""
         for word in words:
@@ -283,11 +383,27 @@ class UnrolledAutomaton:
         return len(self.nfa.alphabet) ** level
 
     def engine_counters(self) -> Dict[str, int]:
-        """Mask-level work counters for diagnostics / benchmark reporting."""
-        counters = self.engine.counters()
+        """Mask-level work counters for diagnostics / benchmark reporting.
+
+        Engine-level counts (``step_ops``, ``pre_ops``, ``decode_ops`` and
+        the ``batch_*`` family) are reported relative to the snapshot taken
+        at construction, so a shared registry engine still yields per-run
+        numbers.  Cache-level counts (``cache_*``, ``simulated_steps``) are
+        per-instance already.  ``engine_cache_hit`` records whether the
+        engine came out of the shared registry (1) or was freshly built (0).
+        """
+        snapshot = self.engine.counters()
+        counters = {
+            key: value - self._counter_base.get(key, 0)
+            for key, value in snapshot.items()
+        }
         counters["cache_words"] = len(self.cache)
         counters["cache_lookups"] = self.cache.lookups
         counters["simulated_steps"] = self.cache.simulated_steps
+        counters["cache_batch_lookups"] = self.cache.batch_lookups
+        counters["cache_batch_words"] = self.cache.batch_words
+        counters["cache_batch_hits"] = self.cache.batch_hits
+        counters["engine_cache_hit"] = int(self.engine_cache_hit)
         return counters
 
     def _check_level(self, level: int) -> None:

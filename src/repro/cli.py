@@ -55,6 +55,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         delta=args.delta,
         seed=args.seed,
         backend=args.backend,
+        use_engine_cache=not args.no_engine_cache,
     )
     row = {"method": "fpras", "estimate": result.estimate}
     if rows:
@@ -67,6 +68,10 @@ def _cmd_count(args: argparse.Namespace) -> int:
             {
                 "states": nfa.num_states,
                 "backend": result.backend,
+                "engine_cache_hit": result.engine_counters.get("engine_cache_hit", 0),
+                "batched_membership_words": result.engine_counters.get(
+                    "cache_batch_words", 0
+                ),
                 "samples_per_state (ns)": result.ns,
                 "sampling_attempts (xns)": result.xns,
                 "elapsed_seconds": result.elapsed_seconds,
@@ -80,7 +85,11 @@ def _cmd_count(args: argparse.Namespace) -> int:
 def _cmd_sample(args: argparse.Namespace) -> int:
     nfa = build_family(args.family, **_family_arguments(args.family_arg))
     parameters = FPRASParameters(
-        epsilon=args.epsilon, delta=args.delta, seed=args.seed, backend=args.backend
+        epsilon=args.epsilon,
+        delta=args.delta,
+        seed=args.seed,
+        backend=args.backend,
+        use_engine_cache=not args.no_engine_cache,
     )
     counter = NFACounter(nfa, args.length, parameters)
     sampler = UniformWordSampler(counter)
@@ -136,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BACKEND,
         help="NFA simulation engine (bitset is fastest; reference is the frozenset baseline)",
     )
+    count.add_argument(
+        "--no-engine-cache",
+        action="store_true",
+        help="build a private engine instead of using the shared engine registry "
+        "(results are identical; use for isolated timing or debugging)",
+    )
     count.add_argument("--exact", action="store_true", help="exact count only")
     count.add_argument("--compare", action="store_true", help="exact and FPRAS")
     count.add_argument(
@@ -155,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(available_backends()),
         default=DEFAULT_BACKEND,
         help="NFA simulation engine backing the counter and sampler",
+    )
+    sample.add_argument(
+        "--no-engine-cache",
+        action="store_true",
+        help="build a private engine instead of using the shared engine registry",
     )
     sample.add_argument(
         "--family-arg", action="append", metavar="KEY=VALUE", help="family parameter"

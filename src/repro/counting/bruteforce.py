@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.automata.engine import create_engine
+from repro.automata.engine import acquire_engine
 from repro.automata.nfa import NFA
 from repro.errors import ParameterError
 
@@ -24,15 +24,20 @@ def count_bruteforce(
     length: int,
     limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT,
     backend: Optional[str] = None,
+    use_engine_cache: bool = True,
 ) -> int:
     """Count ``|L(A_length)|`` by enumerating every word of that length.
 
     The enumeration walks the prefix tree depth-first, carrying the engine
     handle of the reachable-state set along each branch so shared prefixes
-    are simulated once and dead branches (empty state sets) are pruned.  No
-    per-(state, level) memoisation is used — every surviving word is visited
-    individually — so the counter stays an oracle methodologically
-    independent of the subset-construction DP in :mod:`repro.automata.exact`.
+    are simulated once and dead branches (empty state sets) are pruned —
+    the exhaustive-enumeration limit of the prefix sharing that
+    :meth:`~repro.automata.engine.Engine.simulate_batch` applies to sparse
+    multisets.  No per-(state, level) memoisation is used — every surviving
+    word is visited individually — so the counter stays an oracle
+    methodologically independent of the subset-construction DP in
+    :mod:`repro.automata.exact`.  The engine comes from the shared registry
+    unless ``use_engine_cache`` is ``False``.
 
     Raises :class:`~repro.errors.ParameterError` when the enumeration would
     exceed ``limit`` words (pass ``limit=None`` to disable the check).
@@ -44,7 +49,7 @@ def count_bruteforce(
         raise ParameterError(
             f"brute force would enumerate {total_words} words (> limit {limit})"
         )
-    engine = create_engine(nfa, backend)
+    engine, _ = acquire_engine(nfa, backend, use_cache=use_engine_cache)
     alphabet = nfa.alphabet
     accepting = engine.accepting
 

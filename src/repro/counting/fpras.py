@@ -68,9 +68,16 @@ class CountResult:
         ``"reference"``).
     engine_counters:
         Mask-level work counters from the engine and the reachability cache
-        (``step_ops``, ``pre_ops``, ``decode_ops``, ``cache_words``,
-        ``cache_lookups``, ``simulated_steps``) — the data behind the
-        backend-comparison benchmarks.
+        — the data behind the backend-comparison benchmarks.  Keys:
+        ``step_ops`` / ``pre_ops`` / ``decode_ops`` (primitive engine
+        operations attributable to this run), ``batch_calls`` /
+        ``batch_words`` / ``batch_steps_saved`` (engine-level batched
+        simulation), ``cache_words`` / ``cache_lookups`` /
+        ``simulated_steps`` (reachability-cache amortisation),
+        ``cache_batch_lookups`` / ``cache_batch_words`` /
+        ``cache_batch_hits`` (batched membership through the cache) and
+        ``engine_cache_hit`` (1 when the engine came from the shared
+        registry rather than being rebuilt).
     """
 
     estimate: float
@@ -109,15 +116,22 @@ class CountResult:
 class NFACounter:
     """The faster FPRAS for #NFA (Algorithm 3 of the paper).
 
-    Typical use::
-
-        counter = NFACounter(nfa, length=12, parameters=FPRASParameters(epsilon=0.3))
-        result = counter.run()
-        print(result.estimate)
+    >>> from repro.automata.families import no_consecutive_ones_nfa
+    >>> counter = NFACounter(
+    ...     no_consecutive_ones_nfa(), length=8,
+    ...     parameters=FPRASParameters(epsilon=0.4, seed=11))
+    >>> result = counter.run()
+    >>> result.estimate > 0 and counter.has_run
+    True
 
     The instance keeps its internal ``N`` / ``S`` tables after :meth:`run`
     so that :class:`repro.counting.uniform.UniformWordSampler` can reuse them
-    to generate words without re-running the dynamic program.
+    to generate words without re-running the dynamic program.  All hot loops
+    run on the engine selected by ``parameters.backend``, acquired from the
+    shared engine registry unless ``parameters.use_engine_cache`` is off;
+    AppUnion membership questions are answered through the batched
+    reachability API (see
+    :meth:`repro.automata.unroll.UnrolledAutomaton.first_containing_batch`).
     """
 
     def __init__(
@@ -134,7 +148,12 @@ class NFACounter:
         self.parameters = parameters if parameters is not None else FPRASParameters()
         seed = self.parameters.seed
         self.rng = rng if rng is not None else random.Random(seed)
-        self.unroll = UnrolledAutomaton(nfa, length, backend=self.parameters.backend)
+        self.unroll = UnrolledAutomaton(
+            nfa,
+            length,
+            backend=self.parameters.backend,
+            use_engine_cache=self.parameters.use_engine_cache,
+        )
         self.estimates: Dict[StateLevel, float] = {}
         self.samples: Dict[StateLevel, List[Word]] = {}
         self.sampler_statistics = SamplerStatistics()
@@ -267,7 +286,7 @@ class NFACounter:
                 size_slack=beta_prime,
                 parameters=self.parameters,
                 rng=self.rng,
-                first_containing=self.unroll.first_containing(ordered),
+                first_containing_batch=self.unroll.first_containing_batch(ordered),
             )
             self._union_calls += 1
             self._membership_calls += result.membership_calls
@@ -321,7 +340,7 @@ class NFACounter:
             size_slack=beta_prime,
             parameters=self.parameters,
             rng=self.rng,
-            first_containing=self.unroll.first_containing(accepting),
+            first_containing_batch=self.unroll.first_containing_batch(accepting),
         )
         self._union_calls += 1
         self._membership_calls += result.membership_calls
@@ -362,6 +381,7 @@ def count_nfa(
     seed: Optional[int] = None,
     scale: Optional[ParameterScale] = None,
     backend: Optional[str] = None,
+    use_engine_cache: bool = True,
 ) -> CountResult:
     """One-call convenience wrapper around :class:`NFACounter`.
 
@@ -369,7 +389,20 @@ def count_nfa(
     (in unary in the paper — an ``int`` here), the accuracy ``epsilon`` and
     the confidence ``delta``.  ``scale`` selects between paper-exact and
     laptop-scale parameters (see :class:`ParameterScale`); ``backend``
-    selects the simulation engine (``None`` for the default bitset backend).
+    selects the simulation engine (``None`` for the default bitset backend)
+    and ``use_engine_cache=False`` opts out of the shared engine registry
+    (results are identical either way).
+
+    >>> from repro.automata.nfa import NFA
+    >>> nfa = NFA.build(
+    ...     [("s", "0", "s"), ("s", "1", "t"), ("t", "0", "t"), ("t", "1", "t")],
+    ...     initial="s", accepting=["t"])
+    >>> result = count_nfa(nfa, length=4, epsilon=0.5, seed=7)
+    >>> result.estimate > 0 and result.backend == "bitset"
+    True
+    >>> result.estimate == count_nfa(
+    ...     nfa, length=4, epsilon=0.5, seed=7, use_engine_cache=False).estimate
+    True
     """
     parameters = FPRASParameters(
         epsilon=epsilon,
@@ -377,5 +410,6 @@ def count_nfa(
         scale=scale if scale is not None else ParameterScale.practical(),
         seed=seed,
         backend=backend,
+        use_engine_cache=use_engine_cache,
     )
     return NFACounter(nfa, length, parameters).run()

@@ -15,7 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.automata.engine import create_engine
+from repro.automata.engine import acquire_engine
 from repro.automata.nfa import NFA
 from repro.errors import ParameterError
 
@@ -48,26 +48,39 @@ def count_montecarlo(
     num_samples: int = 10_000,
     seed: Optional[Union[int, random.Random]] = None,
     backend: Optional[str] = None,
+    use_engine_cache: bool = True,
 ) -> MonteCarloEstimate:
     """Estimate ``|L(A_length)|`` with ``num_samples`` uniform random words.
 
-    Word simulation runs on the selected engine backend (default bitset);
-    the drawn words and acceptance decisions — and therefore the estimate —
-    are backend-independent for a fixed seed.
+    All words are drawn up front (consuming the RNG stream exactly as the
+    historical word-at-a-time loop did) and accepted in one
+    :meth:`~repro.automata.engine.Engine.accepts_batch` pass, so words
+    sharing a prefix are simulated through it once.  The drawn words and
+    acceptance decisions — and therefore the estimate — are backend- and
+    batching-independent for a fixed seed.
     """
     if length < 0:
         raise ParameterError("length must be non-negative")
     if num_samples <= 0:
         raise ParameterError("num_samples must be positive")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    engine = create_engine(nfa, backend)
+    engine, _ = acquire_engine(nfa, backend, use_cache=use_engine_cache)
     alphabet = list(nfa.alphabet)
     total_words = len(alphabet) ** length
+    # Draw and test in fixed-size blocks: the RNG stream is identical to a
+    # word-at-a-time loop (drawing never depends on acceptance) while peak
+    # memory stays bounded regardless of num_samples.
+    block_size = 8192
     hits = 0
-    for _ in range(num_samples):
-        word = tuple(rng.choice(alphabet) for _ in range(length))
-        if engine.accepts(word):
-            hits += 1
+    remaining = num_samples
+    while remaining:
+        block = min(block_size, remaining)
+        words = [
+            tuple(rng.choice(alphabet) for _ in range(length))
+            for _ in range(block)
+        ]
+        hits += sum(engine.accepts_batch(words))
+        remaining -= block
     estimate = (hits / num_samples) * total_words
     return MonteCarloEstimate(
         estimate=estimate, hits=hits, samples=num_samples, total_words=total_words

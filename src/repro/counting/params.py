@@ -79,6 +79,13 @@ class ParameterScale:
         a per-set sample list runs dry (Algorithm 1, line 8).  The scaled
         default instead cycles through a shuffled copy, which avoids
         systematically under-counting when ``ns`` is small.
+
+    >>> ParameterScale.practical().mode
+    'scaled'
+    >>> ParameterScale.paper().strict_sample_consumption
+    True
+    >>> ParameterScale.practical().with_overrides(sample_cap=48).sample_cap
+    48
     """
 
     mode: str = "scaled"
@@ -160,6 +167,26 @@ class FPRASParameters:
     semantics; ``None`` is normalised to the default backend.  Both
     backends are observationally identical under a shared seed — the
     parity test suite enforces it — so the choice only affects speed.
+
+    ``use_engine_cache`` controls whether the run acquires its engine from
+    the shared :class:`~repro.automata.engine.EngineRegistry` (the default;
+    repeated runs on the same automaton skip rebuilding transition tables)
+    or builds a private engine (the CLI's ``--no-engine-cache``).  Engine
+    sharing is observationally transparent for everything the estimator
+    computes: estimates, sampler draws and the representation-independent
+    work counters are bit-identical either way.  The one diagnostic that
+    may differ is ``engine_counters["decode_ops"]`` — a shared engine's
+    decode memo stays warm across runs, so later runs decode fewer fresh
+    sets (``decode_ops`` is representation-specific by design and excluded
+    from the locked-counter and parity suites for the same reason).
+
+    >>> parameters = FPRASParameters(epsilon=0.25, seed=7)
+    >>> parameters.backend
+    'bitset'
+    >>> parameters.ns(10, 50) <= parameters.scale.sample_cap
+    True
+    >>> parameters.ns_paper(10, 50) > 10**6  # the verbatim formula is huge
+    True
     """
 
     epsilon: float = 0.5
@@ -167,6 +194,7 @@ class FPRASParameters:
     scale: ParameterScale = field(default_factory=ParameterScale.practical)
     seed: Optional[int] = None
     backend: Optional[str] = None
+    use_engine_cache: bool = True
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon:
@@ -283,6 +311,7 @@ class FPRASParameters:
             "xns_operational": self.xns(length, num_states),
             "scale_mode": self.scale.mode,
             "backend": self.backend,
+            "engine_cache": self.use_engine_cache,
         }
 
 

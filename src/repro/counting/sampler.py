@@ -215,7 +215,7 @@ class SampleDraw:
             size_slack=beta_prime,
             parameters=self.parameters,
             rng=self.rng,
-            first_containing=self.unroll.first_containing(ordered),
+            first_containing_batch=self.unroll.first_containing_batch(ordered),
         )
         self.statistics.union_calls += 1
         self.statistics.membership_calls += result.membership_calls

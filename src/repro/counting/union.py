@@ -32,6 +32,10 @@ from repro.errors import ParameterError, SampleExhaustedError
 
 MembershipOracle = Callable[[object], bool]
 
+#: Batched membership primitive: maps a sequence of ``(sigma, i)`` queries to
+#: the per-query smallest index ``j < i`` with ``sigma`` in ``T_j`` (or -1).
+BatchMembership = Callable[[Sequence[tuple]], Sequence[int]]
+
 
 @dataclass
 class SetAccess:
@@ -116,6 +120,7 @@ def approximate_union(
     rng: Optional[random.Random] = None,
     raise_on_exhaustion: bool = False,
     first_containing: Optional[Callable[[object, int], int]] = None,
+    first_containing_batch: Optional[BatchMembership] = None,
 ) -> UnionEstimate:
     """Estimate ``|T_1 ∪ … ∪ T_k|`` (Algorithm 1, ``AppUnion``).
 
@@ -145,11 +150,35 @@ def approximate_union(
         lookup; results and the ``membership_calls`` accounting are identical
         to the oracle loop — the early-exit scan over earlier sets is simply
         executed against one precomputed handle.
+    first_containing_batch:
+        Whole-multiset form of ``first_containing``: maps a sequence of
+        ``(sigma, i)`` queries to the per-query answers in one call (see
+        :meth:`repro.automata.unroll.UnrolledAutomaton.first_containing_batch`).
+        Trial sampling never depends on membership answers, so the
+        implementation first draws every trial (consuming the RNG stream
+        exactly as the interleaved loop would) and then resolves all
+        membership questions in one batched pass — estimates, diagnostics
+        and the RNG stream are bit-identical to the per-trial paths.
+        Takes precedence over ``first_containing`` when both are given.
 
     Returns
     -------
     UnionEstimate
         ``estimate`` is ``(Y / t) * sum(sz_i)``; diagnostics included.
+
+    Example
+    -------
+    >>> import random
+    >>> t1, t2 = {"00", "01"}, {"01", "11"}
+    >>> access = [
+    ...     SetAccess(oracle=t1.__contains__, samples=sorted(t1), size_estimate=2.0),
+    ...     SetAccess(oracle=t2.__contains__, samples=sorted(t2), size_estimate=2.0),
+    ... ]
+    >>> result = approximate_union(
+    ...     access, epsilon=0.5, delta=0.1, size_slack=0.0,
+    ...     parameters=FPRASParameters(), rng=random.Random(0))
+    >>> 2.0 <= result.estimate <= 4.0  # true union size is 3
+    True
     """
     if epsilon <= 0:
         raise ParameterError("AppUnion epsilon must be positive")
@@ -177,10 +206,13 @@ def approximate_union(
     streams = [_SampleStream(entry.samples, rng, strict) for entry in sets]
     cumulative = _cumulative_weights(sizes)
 
-    unique_hits = 0
-    membership_calls = 0
+    # Phase 1 — draw every trial.  Sampling consumes the RNG stream exactly
+    # as the historical interleaved loop did (membership answers never feed
+    # back into sampling), which is what lets phase 2 batch the membership
+    # questions without perturbing seeded runs.
     exhausted = False
     performed = 0
+    drawn: List[tuple] = []  # (sigma, set index) per performed trial
     for _ in range(trials):
         index = _weighted_index(cumulative, rng)
         sample = streams[index].next()
@@ -196,20 +228,35 @@ def approximate_union(
         performed += 1
         if streams[index].exhausted:
             exhausted = True
-        if first_containing is not None:
-            containing = first_containing(sample, index)
-            # Same accounting as the oracle loop: one call per earlier set
-            # checked before the scan stopped (hit at j => j + 1 checks).
-            membership_calls += index if containing < 0 else containing + 1
-            is_unique = containing < 0
-        else:
-            is_unique = True
+        drawn.append((sample, index))
+
+    # Phase 2 — resolve "is sigma in an earlier set" for every trial.  The
+    # answer per trial is the smallest j < i containing sigma (or -1); the
+    # three strategies are observationally identical and share the
+    # membership_calls accounting: a scan stopping at j costs j + 1 checks,
+    # a full miss costs i checks.
+    if first_containing_batch is not None and drawn:
+        containing_per_trial = first_containing_batch(drawn)
+    elif first_containing is not None:
+        containing_per_trial = [
+            first_containing(sample, index) for sample, index in drawn
+        ]
+    else:
+        containing_per_trial = []
+        for sample, index in drawn:
+            containing = -1
             for earlier in range(index):
-                membership_calls += 1
                 if sets[earlier].oracle(sample):
-                    is_unique = False
+                    containing = earlier
                     break
-        if is_unique:
+            containing_per_trial.append(containing)
+
+    # Phase 3 — accumulate the estimator and its diagnostics.
+    unique_hits = 0
+    membership_calls = 0
+    for (_sample, index), containing in zip(drawn, containing_per_trial):
+        membership_calls += index if containing < 0 else containing + 1
+        if containing < 0:
             unique_hits += 1
 
     if performed == 0:

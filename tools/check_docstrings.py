@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate (a dependency-free stand-in for ``interrogate``).
+
+Walks the given files / directories, parses every ``*.py`` file with
+:mod:`ast` and reports the fraction of documentable definitions that carry a
+docstring.  Exits non-zero when the coverage falls below ``--fail-under``,
+which is how CI keeps the reference documentation from rotting.
+
+Counted as documentable:
+
+* the module itself;
+* every class (including nested classes);
+* every function and method whose name is not private (no leading ``_``).
+
+Not counted: private definitions (leading ``_``, including ``__init__``,
+whose documentation lives on the class) and functions nested inside other
+functions (closures are implementation detail), mirroring ``interrogate``'s
+``--ignore-nested-functions`` configuration.
+
+Usage::
+
+    python tools/check_docstrings.py --fail-under 80 src/repro
+    python tools/check_docstrings.py --verbose src/repro/automata/engine.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Definition kinds that require a docstring.
+DOCUMENTABLE = (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``*.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a python file or directory: {raw}")
+    return files
+
+
+def _is_counted(node: ast.AST) -> bool:
+    """Whether a definition participates in the coverage denominator."""
+    if isinstance(node, ast.Module):
+        return True
+    if isinstance(node, ast.ClassDef):
+        return not node.name.startswith("_")
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return not node.name.startswith("_")
+    return False
+
+
+def audit_file(path: Path) -> Tuple[int, int, List[str]]:
+    """Return (documented, documentable, missing descriptions) for one file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    documented = 0
+    documentable = 0
+    missing: List[str] = []
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        nonlocal documented, documentable
+        is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        nested_closure = is_function and inside_function
+        if (
+            isinstance(node, DOCUMENTABLE)
+            and _is_counted(node)
+            and not nested_closure
+        ):
+            documentable += 1
+            if ast.get_docstring(node) is not None:
+                documented += 1
+            elif isinstance(node, ast.Module):
+                missing.append(f"{path}: module docstring")
+            else:
+                missing.append(f"{path}:{node.lineno}: {node.name}")
+        for child in ast.iter_child_nodes(node):
+            visit(child, inside_function or is_function)
+
+    visit(tree, inside_function=False)
+    return documented, documentable, missing
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="files or directories to audit")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=80.0,
+        help="minimum coverage percentage (default: 80)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="list every missing docstring"
+    )
+    arguments = parser.parse_args(argv)
+
+    total_documented = 0
+    total_documentable = 0
+    all_missing: List[str] = []
+    for path in iter_python_files(arguments.paths):
+        documented, documentable, missing = audit_file(path)
+        total_documented += documented
+        total_documentable += documentable
+        all_missing.extend(missing)
+
+    if total_documentable == 0:
+        print("no documentable definitions found")
+        return 1
+    coverage = 100.0 * total_documented / total_documentable
+    print(
+        f"docstring coverage: {coverage:.1f}% "
+        f"({total_documented}/{total_documentable} definitions), "
+        f"gate: {arguments.fail_under:.0f}%"
+    )
+    if arguments.verbose and all_missing:
+        print("missing docstrings:")
+        for entry in all_missing:
+            print(f"  {entry}")
+    if coverage < arguments.fail_under:
+        print(
+            f"FAILED: coverage {coverage:.1f}% is below --fail-under "
+            f"{arguments.fail_under:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
