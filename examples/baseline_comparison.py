@@ -7,6 +7,10 @@ as the language gets sparse and exact counting collapses as the automaton
 gets large.  Paper-formula sample counts are printed next to the measured
 (scaled) values so the configured gap is visible too.
 
+Every estimator runs through one pinned
+:class:`repro.CountingSession` — the methods differ only in the ``method=``
+name, which is exactly the point of the unified counting façade.
+
 Run with::
 
     python examples/baseline_comparison.py
@@ -14,13 +18,9 @@ Run with::
 
 from __future__ import annotations
 
-import time
-
-from repro.automata.exact import count_exact, language_density
+from repro import CountingSession
+from repro.automata.exact import language_density
 from repro.automata.families import suffix_nfa, union_of_patterns_nfa
-from repro.counting.acjr import count_nfa_acjr
-from repro.counting.fpras import count_nfa
-from repro.counting.montecarlo import count_montecarlo
 from repro.counting.params import acjr_samples_per_state, paper_samples_per_state
 from repro.harness.reporting import format_table
 
@@ -29,43 +29,41 @@ LENGTH = 12
 
 
 def compare_on(name, nfa):
-    exact = count_exact(nfa, LENGTH)
+    session = CountingSession(epsilon=EPSILON, seed=1)
+    exact = session.count(nfa, LENGTH, method="exact").raw
     rows = []
 
-    started = time.perf_counter()
-    fpras = count_nfa(nfa, LENGTH, epsilon=EPSILON, seed=1)
+    fpras = session.count(nfa, LENGTH, method="fpras")
     rows.append(
         {
             "method": "FPRAS (this paper)",
             "estimate": round(fpras.estimate, 1),
             "rel_error": round(fpras.relative_error(exact), 4),
-            "seconds": round(time.perf_counter() - started, 3),
-            "samples/state (scaled)": fpras.ns,
+            "seconds": round(fpras.elapsed_seconds, 3),
+            "samples/state (scaled)": fpras.details["ns"],
             "samples/state (paper formula)": f"{paper_samples_per_state(LENGTH, EPSILON):.2e}",
         }
     )
 
-    started = time.perf_counter()
-    acjr = count_nfa_acjr(nfa, LENGTH, epsilon=EPSILON, sample_cap=96, seed=1)
+    acjr = session.count(nfa, LENGTH, method="acjr", sample_cap=96)
     rows.append(
         {
             "method": "ACJR-style baseline",
             "estimate": round(acjr.estimate, 1),
             "rel_error": round(acjr.relative_error(exact), 4),
-            "seconds": round(time.perf_counter() - started, 3),
-            "samples/state (scaled)": acjr.ns,
+            "seconds": round(acjr.elapsed_seconds, 3),
+            "samples/state (scaled)": acjr.details["ns"],
             "samples/state (paper formula)": f"{acjr_samples_per_state(nfa.num_states, LENGTH, EPSILON):.2e}",
         }
     )
 
-    started = time.perf_counter()
-    montecarlo = count_montecarlo(nfa, LENGTH, num_samples=5000, seed=1)
+    montecarlo = session.count(nfa, LENGTH, method="montecarlo", num_samples=5000)
     rows.append(
         {
             "method": "naive Monte-Carlo (5k words)",
             "estimate": round(montecarlo.estimate, 1),
             "rel_error": round(montecarlo.relative_error(exact), 4),
-            "seconds": round(time.perf_counter() - started, 3),
+            "seconds": round(montecarlo.elapsed_seconds, 3),
         }
     )
 

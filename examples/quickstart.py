@@ -1,9 +1,10 @@
 """Quickstart: approximate #NFA counting and almost-uniform sampling.
 
 Builds a small nondeterministic automaton (binary words containing the
-pattern ``101``), counts its length-14 slice with the paper's FPRAS, checks
-the estimate against the exact count, and then draws a few almost-uniform
-accepted words — the counting↔sampling pair at the heart of the paper.
+pattern ``101``), counts its length-14 slice through the unified counting
+façade (``repro.count`` / ``CountingSession``), checks the estimate against
+the exact count, and then draws a few almost-uniform accepted words — the
+counting↔sampling pair at the heart of the paper.
 
 Run with::
 
@@ -12,10 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import NFA, count_exact, count_nfa
-from repro.counting.fpras import NFACounter
-from repro.counting.params import FPRASParameters
-from repro.counting.uniform import UniformWordSampler
+from repro import NFA, CountingSession, count
 from repro.automata.nfa import word_to_string
 
 
@@ -43,20 +41,25 @@ def main() -> None:
     length = 14
     epsilon = 0.2
 
-    exact = count_exact(nfa, length)
-    result = count_nfa(nfa, length, epsilon=epsilon, delta=0.1, seed=2024)
+    # One-shot calls: every counting method goes through repro.count.
+    exact = count(nfa, length, method="exact").raw
+    report = count(nfa, length, method="fpras", epsilon=epsilon, delta=0.1, seed=2024)
 
     print(f"automaton: {nfa.num_states} states, {nfa.num_transitions} transitions")
     print(f"exact |L(A_{length})|      = {exact}")
-    print(f"FPRAS estimate           = {result.estimate:.1f}")
-    print(f"relative error           = {result.relative_error(exact):.3f}")
-    print(f"within (1+{epsilon}) guarantee = {result.within_guarantee(exact)}")
-    print(f"samples per state (ns)   = {result.ns}")
-    print(f"wall-clock seconds       = {result.elapsed_seconds:.3f}")
+    print(f"FPRAS estimate           = {report.estimate:.1f}")
+    print(f"relative error           = {report.relative_error(exact):.3f}")
+    print(f"within (1+{epsilon}) guarantee = {report.within_guarantee(exact)}")
+    lower, upper = report.error_bounds()
+    print(f"guaranteed interval      = [{lower:.1f}, {upper:.1f}]")
+    print(f"samples per state (ns)   = {report.details['ns']}")
+    print(f"wall-clock seconds       = {report.elapsed_seconds:.3f}")
 
-    # Counting -> sampling: reuse the tables of a counter to draw words.
-    parameters = FPRASParameters(epsilon=0.3, delta=0.1, seed=7)
-    sampler = UniformWordSampler(NFACounter(nfa, length, parameters))
+    # Counting -> sampling through a pinned session: the seed, backend and
+    # engine-cache policy are fixed once; repeated calls on the same
+    # automaton reuse its engine via the shared registry.
+    session = CountingSession(epsilon=0.3, delta=0.1, seed=7)
+    sampler = session.sampler(nfa, length)
     print("\nfive (almost) uniform words from L(A_14):")
     for word in sampler.sample_many(5):
         print("  ", word_to_string(word))

@@ -13,11 +13,15 @@ The package provides:
 
 Quickstart::
 
-    from repro import NFA, count_nfa
+    from repro import NFA, count
     nfa = NFA.build([("s", "0", "s"), ("s", "1", "t"), ("t", "0", "t"), ("t", "1", "t")],
                     initial="s", accepting=["t"])
-    result = count_nfa(nfa, length=12, epsilon=0.3, seed=7)
-    print(result.estimate)
+    report = count(nfa, length=12, epsilon=0.3, seed=7)   # method="fpras" default
+    print(report.estimate, report.error_bounds())
+
+Every counting method (``fpras``, ``acjr``, ``montecarlo``, ``bruteforce``,
+``exact``) is invocable through :func:`repro.count` or a pinned
+:class:`repro.CountingSession`; see :mod:`repro.counting.api`.
 """
 
 from repro.automata import (
@@ -36,16 +40,22 @@ from repro.automata import (
 )
 from repro.counting import (
     ACJRCounter,
+    CountingSession,
+    CountReport,
+    CountRequest,
     CountResult,
     FPRASParameters,
     NFACounter,
     ParameterScale,
     UniformWordSampler,
     approximate_union,
+    available_methods,
+    count,
     count_bruteforce,
     count_montecarlo,
     count_nfa,
     count_nfa_acjr,
+    register_method,
 )
 
 __version__ = "1.0.0"
@@ -69,10 +79,16 @@ __all__ = [
     "ParameterScale",
     "UniformWordSampler",
     "approximate_union",
+    "count",
     "count_nfa",
     "count_nfa_acjr",
     "ACJRCounter",
     "count_bruteforce",
     "count_montecarlo",
+    "CountingSession",
+    "CountReport",
+    "CountRequest",
+    "available_methods",
+    "register_method",
     "__version__",
 ]

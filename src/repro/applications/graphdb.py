@@ -31,11 +31,10 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro.automata.nfa import NFA, State, Symbol, Transition, Word
 from repro.automata.regex import compile_regex
-from repro.automata.exact import count_exact
-from repro.counting.fpras import CountResult, count_nfa
+from repro.counting.api import CountReport, CountRequest, count as unified_count
+from repro.counting.fpras import CountResult
 from repro.counting.params import ParameterScale
 from repro.counting.uniform import UniformWordSampler
-from repro.counting.fpras import NFACounter, FPRASParameters
 from repro.errors import ReductionError
 
 Node = str
@@ -231,9 +230,37 @@ class RPQCounter:
     # ------------------------------------------------------------------
     # Counting and sampling
     # ------------------------------------------------------------------
+    def count_report(
+        self,
+        method: str = "fpras",
+        epsilon: float = 0.5,
+        delta: float = 0.1,
+        seed: Optional[int] = None,
+        backend: Optional[str] = None,
+        use_engine_cache: bool = True,
+        **options: object,
+    ) -> CountReport:
+        """Count the query answers with any registered counting method.
+
+        This is the unified-façade entry point: ``method`` is a name from
+        :func:`repro.counting.api.available_methods` and extra keyword
+        arguments are per-method options (``scale``, ``num_samples``, …).
+        """
+        return unified_count(
+            self.product_automaton(),
+            self.query.max_length,
+            method=method,
+            epsilon=epsilon,
+            delta=delta,
+            seed=seed,
+            backend=backend,
+            use_engine_cache=use_engine_cache,
+            **options,
+        )
+
     def count_exact(self) -> int:
         """Exact number of query answers (small instances only)."""
-        return count_exact(self.product_automaton(), self.query.max_length)
+        return self.count_report(method="exact").raw
 
     def count_fpras(
         self,
@@ -242,15 +269,14 @@ class RPQCounter:
         seed: Optional[int] = None,
         scale: Optional[ParameterScale] = None,
     ) -> CountResult:
-        """Approximate the number of query answers with the paper's FPRAS."""
-        return count_nfa(
-            self.product_automaton(),
-            self.query.max_length,
-            epsilon=epsilon,
-            delta=delta,
-            seed=seed,
-            scale=scale,
-        )
+        """Approximate the number of query answers with the paper's FPRAS.
+
+        Legacy shim over :meth:`count_report`; returns the raw
+        :class:`CountResult` (estimates and RNG stream are bit-identical).
+        """
+        return self.count_report(
+            method="fpras", epsilon=epsilon, delta=delta, seed=seed, scale=scale
+        ).raw
 
     def sample_answers(
         self,
@@ -264,9 +290,10 @@ class RPQCounter:
         Only meaningful under the ``paths`` semantics (label-sequence answers
         are returned as lists of pseudo-edges carrying just the label).
         """
-        parameters = FPRASParameters(epsilon=epsilon, delta=delta, seed=seed)
-        counter = NFACounter(self.product_automaton(), self.query.max_length, parameters)
-        sampler = UniformWordSampler(counter)
+        request = CountRequest(method="fpras", epsilon=epsilon, delta=delta, seed=seed)
+        sampler = UniformWordSampler.from_request(
+            self.product_automaton(), self.query.max_length, request
+        )
         sampler.prepare()
         answers: List[List[Edge]] = []
         for _ in range(count):

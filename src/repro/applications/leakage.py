@@ -15,9 +15,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.automata.exact import count_exact
 from repro.automata.nfa import NFA
-from repro.counting.fpras import count_nfa
+from repro.counting.api import count as unified_count
 from repro.counting.params import ParameterScale
 
 
@@ -46,27 +45,39 @@ def estimate_leakage_bits(
     delta: float = 0.1,
     seed: Optional[int] = None,
     scale: Optional[ParameterScale] = None,
+    backend: Optional[str] = None,
+    use_engine_cache: bool = True,
 ) -> LeakageEstimate:
     """Estimate the channel-capacity leakage bound ``log2 |L(A_length)|``.
 
-    ``method`` is ``"fpras"`` or ``"exact"``.  A multiplicative ``(1 + eps)``
-    guarantee on the count translates into an *additive* ``log2(1 + eps)``
-    guarantee on the leakage bound, which is why an FPRAS is exactly the
-    right tool for this application.
+    ``method`` is any registered counting method (see
+    :func:`repro.counting.api.available_methods`) — typically ``"fpras"``
+    or ``"exact"``.  A multiplicative ``(1 + eps)`` guarantee on the count
+    translates into an *additive* ``log2(1 + eps)`` guarantee on the
+    leakage bound, which is why an FPRAS is exactly the right tool for this
+    application.  Unknown methods raise
+    :class:`~repro.errors.CountingMethodError` (a ``ValueError``).
     """
-    if method == "exact":
-        count = float(count_exact(observables, length))
-    elif method == "fpras":
-        count = count_nfa(
-            observables, length, epsilon=epsilon, delta=delta, seed=seed, scale=scale
-        ).estimate
-    else:
-        raise ValueError(f"unknown leakage method {method!r}")
+    # Pass an explicit scale through to the registry for any method: methods
+    # that do not accept it reject the call instead of silently ignoring it.
+    options = {} if scale is None else {"scale": scale}
+    report = unified_count(
+        observables,
+        length,
+        method=method,
+        epsilon=epsilon,
+        delta=delta,
+        seed=seed,
+        backend=backend,
+        use_engine_cache=use_engine_cache,
+        **options,
+    )
+    count = float(report.estimate)
     leakage = math.log2(count) if count > 1.0 else 0.0
     return LeakageEstimate(
         observable_count=count,
         leakage_bits=leakage,
         length=length,
         method=method,
-        epsilon=epsilon if method == "fpras" else None,
+        epsilon=report.epsilon,
     )

@@ -37,7 +37,8 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.automata.nfa import NFA, State, Transition
 from repro.automata.exact import count_exact
-from repro.counting.fpras import CountResult, count_nfa
+from repro.counting.api import count as unified_count
+from repro.counting.fpras import CountResult
 from repro.counting.params import ParameterScale
 from repro.errors import ReductionError
 
@@ -378,13 +379,18 @@ def evaluate_path_query(
     seed: Optional[int] = None,
     num_samples: int = 10_000,
     scale: Optional[ParameterScale] = None,
+    backend: Optional[str] = None,
+    use_engine_cache: bool = True,
 ) -> PQEResult:
     """Evaluate a path query with the chosen method.
 
     ``method`` is one of ``"fpras"`` (reduce to #NFA and run the paper's
-    algorithm), ``"exact"`` (enumerate sub-databases), ``"exact-nfa"``
-    (exact #NFA count of the coin-word automaton, i.e. exact under dyadic
-    rounding) or ``"montecarlo"``.
+    algorithm through the unified counting façade), ``"exact"`` (enumerate
+    sub-databases), ``"exact-nfa"`` (exact #NFA count of the coin-word
+    automaton, i.e. exact under dyadic rounding) or ``"montecarlo"``.
+    ``backend`` and ``use_engine_cache`` are the shared engine knobs of
+    :class:`repro.counting.api.CountRequest`, threaded through to the
+    counting run.
     """
     if method == "exact":
         return PQEResult(probability=exact_probability(database, query), method=method)
@@ -404,14 +410,17 @@ def evaluate_path_query(
     if method != "fpras":
         raise ReductionError(f"unknown PQE method {method!r}")
 
-    result: CountResult = count_nfa(
+    result: CountResult = unified_count(
         reduction.automaton(),
         reduction.word_length,
+        method="fpras",
         epsilon=epsilon,
         delta=delta,
         seed=seed,
+        backend=backend,
+        use_engine_cache=use_engine_cache,
         scale=scale,
-    )
+    ).raw
     probability = result.estimate / float(1 << reduction.word_length)
     return PQEResult(
         probability=probability,

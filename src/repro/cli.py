@@ -2,11 +2,18 @@
 
 Sub-commands
 ------------
-``count``      approximate (or exactly count) a named family instance;
+``count``      count a named family instance with any registered method;
 ``sample``     draw almost-uniform words from a family instance;
 ``experiment`` run one of the registered experiments (E1 … E7);
 ``families``   list the available structured NFA families;
+``methods``    list the registered counting methods;
 ``params``     print the paper vs operational FPRAS parameters for (m, n, eps).
+
+All counting goes through the unified façade
+(:mod:`repro.counting.api`): ``count --method {fpras,acjr,montecarlo,
+bruteforce,exact}`` dispatches through the method registry, and the shared
+estimator flags (``--epsilon/--delta/--seed/--backend/--no-engine-cache``)
+are defined once in a parent parser shared by ``count`` and ``sample``.
 """
 
 from __future__ import annotations
@@ -16,11 +23,14 @@ import sys
 from typing import List, Optional
 
 from repro.automata.engine import DEFAULT_BACKEND, available_backends
-from repro.automata.exact import count_exact
 from repro.automata.families import FAMILY_REGISTRY, build_family
 from repro.automata.nfa import word_to_string
-from repro.counting.fpras import FPRASParameters, NFACounter, count_nfa
-from repro.counting.uniform import UniformWordSampler
+from repro.counting.api import (
+    METHOD_REGISTRY,
+    CountingSession,
+    available_methods,
+)
+from repro.errors import ReproError
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.reporting import format_key_values, format_table
 
@@ -39,60 +49,82 @@ def _family_arguments(raw: Optional[List[str]]) -> dict:
     return parsed
 
 
-def _cmd_count(args: argparse.Namespace) -> int:
-    nfa = build_family(args.family, **_family_arguments(args.family_arg))
-    rows = []
-    if args.exact or args.compare:
-        exact = count_exact(nfa, args.length)
-        rows.append({"method": "exact", "estimate": exact, "rel_error": 0.0})
-        if args.exact and not args.compare:
-            print(format_table(rows, title=f"#NFA for {args.family}, n={args.length}"))
-            return 0
-    result = count_nfa(
-        nfa,
-        args.length,
+def _session_from_args(args: argparse.Namespace) -> CountingSession:
+    """The pinned counting session every estimator sub-command runs through."""
+    return CountingSession(
         epsilon=args.epsilon,
         delta=args.delta,
         seed=args.seed,
         backend=args.backend,
         use_engine_cache=not args.no_engine_cache,
     )
-    row = {"method": "fpras", "estimate": result.estimate}
-    if rows:
-        exact = rows[0]["estimate"]
-        row["rel_error"] = abs(result.estimate - exact) / exact if exact else 0.0
-    rows.append(row)
+
+
+def _method_options(args: argparse.Namespace) -> dict:
+    """Per-method options the user set explicitly (validated at dispatch)."""
+    options: dict = {}
+    if args.num_samples is not None:
+        options["num_samples"] = args.num_samples
+    if args.limit is not None:
+        # 0 (or negative) disables the enumeration safety valve entirely.
+        options["limit"] = args.limit if args.limit > 0 else None
+    if args.sample_cap is not None:
+        options["sample_cap"] = args.sample_cap
+    return options
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    nfa = build_family(args.family, **_family_arguments(args.family_arg))
+    session = _session_from_args(args)
+    rows = []
+    exact_report = None
+    exact_value = None
+    if args.exact or args.compare:
+        exact_report = session.count(nfa, args.length, method="exact")
+        exact_value = exact_report.raw
+        rows.append({"method": "exact", "estimate": exact_value, "rel_error": 0.0})
+        if args.exact and not args.compare:
+            print(format_table(rows, title=f"#NFA for {args.family}, n={args.length}"))
+            return 0
+    options = _method_options(args)
+    if args.method == "exact" and exact_report is not None and not options:
+        # --compare --method exact: the ground truth already ran once.  Any
+        # per-method option still goes through dispatch below so it is
+        # rejected exactly as it would be without --compare.
+        report = exact_report
+    else:
+        report = session.count(nfa, args.length, method=args.method, **options)
+        row = {"method": report.method, "estimate": report.estimate}
+        if exact_value is not None:
+            row["rel_error"] = report.relative_error(exact_value)
+        rows.append(row)
     print(format_table(rows, title=f"#NFA for {args.family}, n={args.length}"))
-    print(
-        format_key_values(
-            {
-                "states": nfa.num_states,
-                "backend": result.backend,
-                "engine_cache_hit": result.engine_counters.get("engine_cache_hit", 0),
-                "batched_membership_words": result.engine_counters.get(
-                    "cache_batch_words", 0
-                ),
-                "samples_per_state (ns)": result.ns,
-                "sampling_attempts (xns)": result.xns,
-                "elapsed_seconds": result.elapsed_seconds,
-            },
-            title="run details",
-        )
-    )
+    details = {
+        "states": nfa.num_states,
+        "method": report.method,
+        "backend": report.backend,
+        "engine_cache_hit": report.engine_counters.get("engine_cache_hit", 0),
+        "batched_membership_words": report.engine_counters.get("cache_batch_words", 0),
+        "elapsed_seconds": report.elapsed_seconds,
+    }
+    if report.method == "fpras":
+        details["samples_per_state (ns)"] = report.raw.ns
+        details["sampling_attempts (xns)"] = report.raw.xns
+    elif report.method == "acjr":
+        details["samples_per_state (ns)"] = report.raw.ns
+    elif report.method == "montecarlo":
+        details["random_words_drawn"] = report.details["samples"]
+        details["accepting_hits"] = report.details["hits"]
+    elif report.method == "bruteforce":
+        details["enumeration_limit"] = report.details["limit"]
+        details["total_words"] = report.details["total_words"]
+    print(format_key_values(details, title="run details"))
     return 0
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
     nfa = build_family(args.family, **_family_arguments(args.family_arg))
-    parameters = FPRASParameters(
-        epsilon=args.epsilon,
-        delta=args.delta,
-        seed=args.seed,
-        backend=args.backend,
-        use_engine_cache=not args.no_engine_cache,
-    )
-    counter = NFACounter(nfa, args.length, parameters)
-    sampler = UniformWordSampler(counter)
+    sampler = _session_from_args(args).sampler(nfa, args.length)
     estimate = sampler.prepare()
     print(f"estimated |L(A_{args.length})| = {estimate:.4g}")
     for word in sampler.sample_many(args.count):
@@ -115,7 +147,22 @@ def _cmd_families(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_methods(_args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "method": name,
+            "summary": METHOD_REGISTRY[name].summary,
+            "options": ", ".join(sorted(METHOD_REGISTRY[name].option_names)) or "-",
+        }
+        for name in available_methods()
+    ]
+    print(format_table(rows, title="registered counting methods"))
+    return 0
+
+
 def _cmd_params(args: argparse.Namespace) -> int:
+    from repro.counting.fpras import FPRASParameters
+
     parameters = FPRASParameters(epsilon=args.epsilon, delta=args.delta)
     print(
         format_key_values(
@@ -126,6 +173,35 @@ def _cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _estimator_options(default_epsilon: float) -> argparse.ArgumentParser:
+    """The shared ``--epsilon/--delta/--seed/--backend/--no-engine-cache`` block.
+
+    Defined once as a parent parser so ``count`` and ``sample`` cannot
+    drift apart; ``default_epsilon`` is the only knob that differs between
+    the sub-commands.
+    """
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument("--epsilon", type=float, default=default_epsilon)
+    shared.add_argument("--delta", type=float, default=0.1)
+    shared.add_argument("--seed", type=int, default=None)
+    shared.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default=DEFAULT_BACKEND,
+        help="NFA simulation engine (bitset is fastest; reference is the frozenset baseline)",
+    )
+    shared.add_argument(
+        "--no-engine-cache",
+        action="store_true",
+        help="build a private engine instead of using the shared engine registry "
+        "(results are identical; use for isolated timing or debugging)",
+    )
+    shared.add_argument(
+        "--family-arg", action="append", metavar="KEY=VALUE", help="family parameter"
+    )
+    return shared
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-nfa",
@@ -133,52 +209,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    count = subparsers.add_parser("count", help="approximate #NFA on a named family")
+    count = subparsers.add_parser(
+        "count",
+        parents=[_estimator_options(default_epsilon=0.3)],
+        help="count a named family instance with any registered method",
+    )
     count.add_argument("family", choices=sorted(FAMILY_REGISTRY))
     count.add_argument("--length", "-n", type=int, default=10)
-    count.add_argument("--epsilon", type=float, default=0.3)
-    count.add_argument("--delta", type=float, default=0.1)
-    count.add_argument("--seed", type=int, default=None)
     count.add_argument(
-        "--backend",
-        choices=sorted(available_backends()),
-        default=DEFAULT_BACKEND,
-        help="NFA simulation engine (bitset is fastest; reference is the frozenset baseline)",
+        "--method",
+        choices=sorted(available_methods()),
+        default="fpras",
+        help="counting method from the unified registry (default: fpras)",
     )
     count.add_argument(
-        "--no-engine-cache",
-        action="store_true",
-        help="build a private engine instead of using the shared engine registry "
-        "(results are identical; use for isolated timing or debugging)",
+        "--num-samples",
+        type=int,
+        default=None,
+        help="montecarlo: number of random words to draw (default: 10000)",
+    )
+    count.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="bruteforce: enumeration safety limit, 0 disables it "
+        "(default: 2000000)",
+    )
+    count.add_argument(
+        "--sample-cap",
+        type=int,
+        default=None,
+        help="acjr: per-(state, level) sample cap (default: 96)",
     )
     count.add_argument("--exact", action="store_true", help="exact count only")
-    count.add_argument("--compare", action="store_true", help="exact and FPRAS")
     count.add_argument(
-        "--family-arg", action="append", metavar="KEY=VALUE", help="family parameter"
+        "--compare", action="store_true", help="exact and the selected method"
     )
     count.set_defaults(handler=_cmd_count)
 
-    sample = subparsers.add_parser("sample", help="draw almost-uniform accepted words")
+    sample = subparsers.add_parser(
+        "sample",
+        parents=[_estimator_options(default_epsilon=0.4)],
+        help="draw almost-uniform accepted words",
+    )
     sample.add_argument("family", choices=sorted(FAMILY_REGISTRY))
     sample.add_argument("--length", "-n", type=int, default=10)
     sample.add_argument("--count", "-c", type=int, default=5)
-    sample.add_argument("--epsilon", type=float, default=0.4)
-    sample.add_argument("--delta", type=float, default=0.1)
-    sample.add_argument("--seed", type=int, default=None)
-    sample.add_argument(
-        "--backend",
-        choices=sorted(available_backends()),
-        default=DEFAULT_BACKEND,
-        help="NFA simulation engine backing the counter and sampler",
-    )
-    sample.add_argument(
-        "--no-engine-cache",
-        action="store_true",
-        help="build a private engine instead of using the shared engine registry",
-    )
-    sample.add_argument(
-        "--family-arg", action="append", metavar="KEY=VALUE", help="family parameter"
-    )
     sample.set_defaults(handler=_cmd_sample)
 
     experiment = subparsers.add_parser("experiment", help="run a registered experiment")
@@ -188,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     families_cmd = subparsers.add_parser("families", help="list NFA families")
     families_cmd.set_defaults(handler=_cmd_families)
+
+    methods_cmd = subparsers.add_parser(
+        "methods", help="list registered counting methods"
+    )
+    methods_cmd.set_defaults(handler=_cmd_methods)
 
     params = subparsers.add_parser("params", help="show paper vs operational parameters")
     params.add_argument("--states", "-m", type=int, default=10)
@@ -200,10 +281,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point used by both the console script and ``python -m repro``."""
+    """Entry point used by both the console script and ``python -m repro``.
+
+    Library failures (:class:`~repro.errors.ReproError` — e.g. a brute-force
+    enumeration over its safety limit, or options a method rejects) are
+    reported as one-line errors with exit code 2 instead of tracebacks.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,6 +2,14 @@
 
 Public entry points:
 
+* the unified counting façade (:mod:`repro.counting.api`):
+  :func:`~repro.counting.api.count` (re-exported as ``repro.count``),
+  :class:`~repro.counting.api.CountingSession`,
+  :class:`~repro.counting.api.CountRequest` /
+  :class:`~repro.counting.api.CountReport`, and the
+  :data:`~repro.counting.api.METHOD_REGISTRY` behind them — the one API
+  every method (fpras, acjr, montecarlo, bruteforce, exact) is invocable
+  through;
 * :class:`~repro.counting.fpras.NFACounter` / :func:`~repro.counting.fpras.count_nfa`
   — Algorithm 3 of the paper (the faster FPRAS);
 * :func:`~repro.counting.union.approximate_union` — Algorithm 1 (Karp–Luby
@@ -13,7 +21,8 @@ Public entry points:
   the applications);
 * baselines: :func:`~repro.counting.acjr.count_nfa_acjr`,
   :func:`~repro.counting.montecarlo.count_montecarlo`,
-  :func:`~repro.counting.bruteforce.count_bruteforce`.
+  :func:`~repro.counting.bruteforce.count_bruteforce` — all thin shims over
+  the registry now.
 """
 
 from repro.counting.params import FPRASParameters, ParameterScale
@@ -25,6 +34,18 @@ from repro.counting.montecarlo import MonteCarloEstimate, count_montecarlo
 from repro.counting.bruteforce import count_bruteforce
 from repro.counting.uniform import UniformWordSampler
 from repro.counting.diagnostics import InvariantReport, check_invariants
+from repro.counting.api import (
+    METHOD_REGISTRY,
+    CounterMethod,
+    CountingSession,
+    CountReport,
+    CountRequest,
+    available_methods,
+    count,
+    dispatch,
+    register_method,
+    resolve_method,
+)
 
 __all__ = [
     "FPRASParameters",
@@ -44,4 +65,14 @@ __all__ = [
     "UniformWordSampler",
     "InvariantReport",
     "check_invariants",
+    "METHOD_REGISTRY",
+    "CounterMethod",
+    "CountingSession",
+    "CountReport",
+    "CountRequest",
+    "available_methods",
+    "count",
+    "dispatch",
+    "register_method",
+    "resolve_method",
 ]

@@ -43,13 +43,22 @@ StateLevel = Tuple[State, int]
 
 @dataclass(frozen=True)
 class ACJRParameters:
-    """Accuracy targets and scaled sample caps for the ACJR baseline."""
+    """Accuracy targets and scaled sample caps for the ACJR baseline.
+
+    ``backend`` and ``use_engine_cache`` mirror the same knobs on
+    :class:`~repro.counting.params.FPRASParameters`: they select the NFA
+    simulation engine and whether it is acquired from the shared
+    :class:`~repro.automata.engine.EngineRegistry`.  Results are identical
+    for every combination; only speed differs.
+    """
 
     epsilon: float = 0.5
     delta: float = 0.1
     sample_cap: int = 96
     attempt_factor: float = 6.0
     seed: Optional[int] = None
+    backend: Optional[str] = None
+    use_engine_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -107,7 +116,12 @@ class ACJRCounter:
         self.length = length
         self.parameters = parameters if parameters is not None else ACJRParameters()
         self.rng = rng if rng is not None else random.Random(self.parameters.seed)
-        self.unroll = UnrolledAutomaton(nfa, length)
+        self.unroll = UnrolledAutomaton(
+            nfa,
+            length,
+            backend=self.parameters.backend,
+            use_engine_cache=self.parameters.use_engine_cache,
+        )
         self.estimates: Dict[StateLevel, float] = {}
         self.samples: Dict[StateLevel, List[Word]] = {}
         self._membership_calls = 0
@@ -276,9 +290,27 @@ def count_nfa_acjr(
     delta: float = 0.1,
     sample_cap: int = 96,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    use_engine_cache: bool = True,
 ) -> ACJRResult:
-    """Convenience wrapper around :class:`ACJRCounter`."""
-    parameters = ACJRParameters(
-        epsilon=epsilon, delta=delta, sample_cap=sample_cap, seed=seed
+    """Convenience wrapper around :class:`ACJRCounter`.
+
+    Legacy one-call entry point.  It delegates through the unified counting
+    registry (``repro.count(..., method="acjr")``) and returns the raw
+    :class:`ACJRResult`; estimates, RNG stream and work counters are
+    bit-identical to constructing :class:`ACJRCounter` directly.
+    """
+    from repro.counting.api import count
+
+    report = count(
+        nfa,
+        length,
+        method="acjr",
+        epsilon=epsilon,
+        delta=delta,
+        seed=seed,
+        backend=backend,
+        use_engine_cache=use_engine_cache,
+        sample_cap=sample_cap,
     )
-    return ACJRCounter(nfa, length, parameters).run()
+    return report.raw

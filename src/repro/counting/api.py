@@ -1,0 +1,702 @@
+"""Unified counting façade: one API over every #NFA counter.
+
+The reproduction ships five ways to count ``|L(A_n)|`` — the paper's FPRAS
+(Algorithm 3), the ACJR baseline, naive Monte-Carlo, brute-force
+enumeration and the exact subset DP — which historically each had their own
+entry point, knob spelling and result type.  This module is the single
+coherent surface over all of them:
+
+* :class:`CountRequest` normalises the shared knobs (``epsilon``,
+  ``delta``, ``seed``, ``backend``, ``use_engine_cache``) plus a per-method
+  ``options`` mapping, with validation at construction time;
+* :data:`METHOD_REGISTRY` maps method names to :class:`CounterMethod`
+  implementations; new estimators plug in with :func:`register_method`
+  instead of new one-off wiring;
+* :class:`CountReport` is the one normalised result every method returns —
+  estimate, relative-error bounds where defined, wall time,
+  ``engine_counters`` deltas, and the raw per-method result for power
+  users;
+* :class:`CountingSession` pins the shared knobs once and reuses engines
+  across repeated calls through the shared
+  :class:`~repro.automata.engine.EngineRegistry`;
+* :func:`count` is the module-level convenience re-exported as
+  ``repro.count``.
+
+The legacy entry points (:func:`~repro.counting.fpras.count_nfa`,
+:func:`~repro.counting.acjr.count_nfa_acjr`,
+:func:`~repro.counting.montecarlo.count_montecarlo`,
+:func:`~repro.counting.bruteforce.count_bruteforce`) remain available as
+thin shims that delegate through this registry with bit-identical RNG
+streams, estimates and work counters.
+
+>>> from repro.automata.nfa import NFA
+>>> nfa = NFA.build(
+...     [("s", "0", "s"), ("s", "1", "t"), ("t", "0", "t"), ("t", "1", "t")],
+...     initial="s", accepting=["t"])
+>>> count(nfa, 4, method="exact").estimate
+15.0
+>>> report = count(nfa, 4, method="fpras", epsilon=0.5, seed=7)
+>>> report.method, report.estimate > 0, report.epsilon
+('fpras', True, 0.5)
+>>> session = CountingSession(epsilon=0.5, seed=7)
+>>> session.count(nfa, 4).estimate == report.estimate
+True
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    Union,
+)
+
+from repro.automata.engine import acquire_engine, available_backends
+from repro.automata.exact import count_exact
+from repro.automata.nfa import NFA
+from repro.counting.acjr import ACJRCounter, ACJRParameters
+from repro.counting.bruteforce import DEFAULT_ENUMERATION_LIMIT, enumerate_count
+from repro.counting.fpras import FPRASParameters, NFACounter
+from repro.counting.montecarlo import run_montecarlo
+from repro.counting.params import ParameterScale
+from repro.errors import CountingMethodError, ParameterError
+
+#: A seed is either absent, an integer, or an existing stream to continue.
+SeedLike = Union[None, int, random.Random]
+
+#: The method used when a request / session does not name one.
+DEFAULT_METHOD = "fpras"
+
+
+# ----------------------------------------------------------------------
+# Request and report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CountRequest:
+    """A validated, normalised specification of one counting run.
+
+    Attributes
+    ----------
+    method:
+        Registry name of the counter to run (see :func:`available_methods`).
+        The name itself is resolved at dispatch time, so requests can be
+        built before a custom method is registered.
+    epsilon, delta:
+        The shared accuracy / confidence targets.  Methods without a
+        multiplicative guarantee (``montecarlo``) or that are exact
+        (``bruteforce``, ``exact``) ignore them.
+    seed:
+        ``None``, an ``int``, or a ``random.Random`` stream to continue —
+        the latter is how differential tests compare RNG streams across
+        entry points.
+    backend:
+        Simulation-engine name (``None`` selects the default backend).
+    use_engine_cache:
+        Whether engines are acquired from the shared
+        :class:`~repro.automata.engine.EngineRegistry`.
+    options:
+        Per-method knobs, e.g. ``scale`` (fpras), ``sample_cap`` /
+        ``attempt_factor`` (acjr), ``num_samples`` (montecarlo), ``limit``
+        (bruteforce).  Unknown options are rejected at dispatch.
+
+    >>> CountRequest(method="montecarlo", options={"num_samples": 64}).epsilon
+    0.5
+    >>> CountRequest(epsilon=0.0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ParameterError: epsilon must be positive
+    """
+
+    method: str = DEFAULT_METHOD
+    epsilon: float = 0.5
+    delta: float = 0.1
+    seed: SeedLike = None
+    backend: Optional[str] = None
+    use_engine_cache: bool = True
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.method, str) or not self.method:
+            raise ParameterError("method must be a non-empty string")
+        if not isinstance(self.epsilon, (int, float)) or not self.epsilon > 0:
+            raise ParameterError("epsilon must be positive")
+        if not isinstance(self.delta, (int, float)) or not 0 < self.delta < 1:
+            raise ParameterError("delta must lie in (0, 1)")
+        if self.seed is not None and not isinstance(self.seed, (int, random.Random)):
+            raise ParameterError("seed must be None, an int, or a random.Random")
+        if self.backend is not None and self.backend not in available_backends():
+            raise ParameterError(
+                f"unknown simulation backend {self.backend!r}; "
+                f"available: {list(available_backends())}"
+            )
+        if not isinstance(self.use_engine_cache, bool):
+            raise ParameterError("use_engine_cache must be a bool")
+        try:
+            options = dict(self.options)
+        except (TypeError, ValueError):
+            raise ParameterError("options must be a mapping of option names to values")
+        if any(not isinstance(key, str) for key in options):
+            raise ParameterError("option names must be strings")
+        object.__setattr__(self, "options", options)
+
+    def rng(self) -> random.Random:
+        """The run's randomness stream (a fresh ``Random`` unless one was given)."""
+        if isinstance(self.seed, random.Random):
+            return self.seed
+        return random.Random(self.seed)
+
+    def integer_seed(self) -> Optional[int]:
+        """The seed as an ``int`` when one was given, else ``None``."""
+        return self.seed if isinstance(self.seed, int) else None
+
+    def option(self, name: str, default: object = None) -> object:
+        """One per-method option, treating a stored ``None`` as absent."""
+        value = self.options.get(name)
+        return default if value is None else value
+
+
+@dataclass
+class CountReport:
+    """The normalised outcome every registered counting method returns.
+
+    Attributes
+    ----------
+    estimate:
+        The (possibly exact) estimate of ``|L(A_n)|`` as a float.  For the
+        exact methods the precision-preserving integer is in :attr:`raw`.
+    method:
+        Registry name of the method that produced the report.
+    length, num_states:
+        The instance parameters ``n`` and ``m``.
+    elapsed_seconds:
+        Wall-clock time of the counting run itself.
+    backend:
+        Simulation-engine name, or ``None`` for methods that run no engine
+        (the exact subset DP).
+    epsilon, delta:
+        The multiplicative-error / failure-probability targets, where the
+        method defines them (``fpras`` and ``acjr``); ``None`` otherwise.
+    exact:
+        Whether the estimate is exact (``bruteforce`` / ``exact``).
+    engine_counters:
+        Per-run engine work-counter deltas (``step_ops``, ``batch_*``,
+        ``cache_*``, ``engine_cache_hit``, …); empty for engineless methods.
+    details:
+        Normalised per-method diagnostics (e.g. ``ns`` / ``xns`` for
+        fpras, ``hits`` / ``samples`` for montecarlo, ``limit`` /
+        ``total_words`` for bruteforce).
+    raw:
+        The untouched per-method result for power users — a
+        :class:`~repro.counting.fpras.CountResult`,
+        :class:`~repro.counting.acjr.ACJRResult`,
+        :class:`~repro.counting.montecarlo.MonteCarloEstimate`, or the
+        exact ``int``.
+    """
+
+    estimate: float
+    method: str
+    length: int
+    num_states: int
+    elapsed_seconds: float
+    backend: Optional[str] = None
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+    exact: bool = False
+    engine_counters: Dict[str, int] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
+    raw: object = None
+
+    def error_bounds(self) -> Optional[Tuple[float, float]]:
+        """The interval the true count lies in when the guarantee holds.
+
+        ``(estimate, estimate)`` for exact methods,
+        ``(estimate / (1 + eps), estimate * (1 + eps))`` where a
+        multiplicative guarantee is defined, ``None`` otherwise.
+        """
+        if self.exact:
+            return (self.estimate, self.estimate)
+        if self.epsilon is None:
+            return None
+        return (self.estimate / (1.0 + self.epsilon), self.estimate * (1.0 + self.epsilon))
+
+    def relative_error(self, exact: int) -> float:
+        """``|estimate - exact| / exact`` (``inf`` when ``exact`` is 0 and estimate isn't)."""
+        if exact == 0:
+            return 0.0 if self.estimate == 0 else float("inf")
+        return abs(self.estimate - exact) / exact
+
+    def within_guarantee(self, exact: int) -> Optional[bool]:
+        """Whether the estimate meets the method's multiplicative guarantee.
+
+        ``None`` when the method defines no guarantee (montecarlo).
+        """
+        if self.exact:
+            return self.estimate == exact
+        if self.epsilon is None:
+            return None
+        if exact == 0:
+            return self.estimate == 0
+        return exact / (1.0 + self.epsilon) <= self.estimate <= exact * (1.0 + self.epsilon)
+
+
+# ----------------------------------------------------------------------
+# Method registry
+# ----------------------------------------------------------------------
+class CounterMethod(Protocol):
+    """The protocol a registered counting method implements."""
+
+    name: str
+    summary: str
+    option_names: FrozenSet[str]
+
+    def run(self, nfa: NFA, length: int, request: CountRequest) -> CountReport:
+        """Execute the method for one instance and return its report."""
+
+
+MethodRunner = Callable[[NFA, int, CountRequest], CountReport]
+
+
+@dataclass(frozen=True)
+class RegisteredMethod:
+    """A :class:`CounterMethod` built from a plain runner function."""
+
+    name: str
+    summary: str
+    option_names: FrozenSet[str]
+    runner: MethodRunner = field(repr=False)
+
+    def run(self, nfa: NFA, length: int, request: CountRequest) -> CountReport:
+        """Delegate to the wrapped runner function."""
+        return self.runner(nfa, length, request)
+
+
+#: All registered counting methods, keyed by name.
+METHOD_REGISTRY: Dict[str, CounterMethod] = {}
+
+
+def register_method(
+    name: str, *, summary: str, options: Tuple[str, ...] = ()
+) -> Callable[[MethodRunner], MethodRunner]:
+    """Class/function decorator adding a counting method to the registry.
+
+    ``options`` names the per-method knobs the method accepts through
+    :attr:`CountRequest.options`; anything else is rejected at dispatch.
+
+    >>> @register_method("fortytwo", summary="always 42")
+    ... def _run(nfa, length, request):
+    ...     return CountReport(estimate=42.0, method="fortytwo", length=length,
+    ...                        num_states=nfa.num_states, elapsed_seconds=0.0)
+    >>> "fortytwo" in available_methods()
+    True
+    >>> _ = METHOD_REGISTRY.pop("fortytwo")  # keep the doctest side-effect free
+    """
+    def decorator(runner: MethodRunner) -> MethodRunner:
+        if name in METHOD_REGISTRY:
+            raise CountingMethodError(f"counting method {name!r} is already registered")
+        METHOD_REGISTRY[name] = RegisteredMethod(
+            name=name, summary=summary, option_names=frozenset(options), runner=runner
+        )
+        return runner
+
+    return decorator
+
+
+def available_methods() -> Tuple[str, ...]:
+    """Sorted names of every registered counting method."""
+    return tuple(sorted(METHOD_REGISTRY))
+
+
+def resolve_method(name: str) -> CounterMethod:
+    """Look up a registered method, raising a helpful error when unknown."""
+    method = METHOD_REGISTRY.get(name)
+    if method is None:
+        raise CountingMethodError(
+            f"unknown counting method {name!r}; available: {list(available_methods())}"
+        )
+    return method
+
+
+# ----------------------------------------------------------------------
+# Registered methods
+# ----------------------------------------------------------------------
+def fpras_parameters(request: CountRequest) -> FPRASParameters:
+    """The :class:`FPRASParameters` a request denotes (shared with the sampler)."""
+    scale = request.option("scale")
+    return FPRASParameters(
+        epsilon=request.epsilon,
+        delta=request.delta,
+        scale=scale if scale is not None else ParameterScale.practical(),
+        seed=request.integer_seed(),
+        backend=request.backend,
+        use_engine_cache=request.use_engine_cache,
+    )
+
+
+def fpras_counter(nfa: NFA, length: int, request: CountRequest) -> NFACounter:
+    """An unrun :class:`NFACounter` for the request (also used by the sampler)."""
+    rng = request.seed if isinstance(request.seed, random.Random) else None
+    return NFACounter(nfa, length, fpras_parameters(request), rng=rng)
+
+
+def _engine_counter_deltas(engine, base: Dict[str, int], from_cache: bool) -> Dict[str, int]:
+    """Per-run engine counter deltas plus the registry-hit diagnostic."""
+    counters = {
+        key: value - base.get(key, 0) for key, value in engine.counters().items()
+    }
+    counters["engine_cache_hit"] = int(from_cache)
+    return counters
+
+
+@register_method(
+    "fpras", summary="the paper's FPRAS (Algorithm 3)", options=("scale",)
+)
+def _run_fpras(nfa: NFA, length: int, request: CountRequest) -> CountReport:
+    """Run :class:`NFACounter` and normalise its :class:`CountResult`."""
+    result = fpras_counter(nfa, length, request).run()
+    return CountReport(
+        estimate=result.estimate,
+        method="fpras",
+        length=length,
+        num_states=nfa.num_states,
+        elapsed_seconds=result.elapsed_seconds,
+        backend=result.backend,
+        epsilon=request.epsilon,
+        delta=request.delta,
+        engine_counters=dict(result.engine_counters),
+        details={
+            "ns": result.ns,
+            "xns": result.xns,
+            "union_calls": result.union_calls,
+            "membership_calls": result.membership_calls,
+            "sample_draws": result.sample_draws,
+            "padded_states": result.padded_states,
+        },
+        raw=result,
+    )
+
+
+@register_method(
+    "acjr",
+    summary="ACJR-style baseline FPRAS (prior work)",
+    options=("sample_cap", "attempt_factor"),
+)
+def _run_acjr(nfa: NFA, length: int, request: CountRequest) -> CountReport:
+    """Run :class:`ACJRCounter` and normalise its :class:`ACJRResult`."""
+    parameters = ACJRParameters(
+        epsilon=request.epsilon,
+        delta=request.delta,
+        sample_cap=request.option("sample_cap", 96),
+        attempt_factor=request.option("attempt_factor", 6.0),
+        seed=request.integer_seed(),
+        backend=request.backend,
+        use_engine_cache=request.use_engine_cache,
+    )
+    rng = request.seed if isinstance(request.seed, random.Random) else None
+    counter = ACJRCounter(nfa, length, parameters, rng=rng)
+    result = counter.run()
+    return CountReport(
+        estimate=result.estimate,
+        method="acjr",
+        length=length,
+        num_states=nfa.num_states,
+        elapsed_seconds=result.elapsed_seconds,
+        backend=counter.unroll.backend,
+        epsilon=request.epsilon,
+        delta=request.delta,
+        engine_counters=counter.unroll.engine_counters(),
+        details={
+            "ns": result.ns,
+            "membership_calls": result.membership_calls,
+            "sample_draws": result.sample_draws,
+        },
+        raw=result,
+    )
+
+
+@register_method(
+    "montecarlo",
+    summary="naive Monte-Carlo sampling baseline",
+    options=("num_samples",),
+)
+def _run_montecarlo(nfa: NFA, length: int, request: CountRequest) -> CountReport:
+    """Acquire an engine, run the Monte-Carlo loop, report counter deltas."""
+    num_samples = request.option("num_samples", 10_000)
+    rng = request.rng()
+    engine, from_cache = acquire_engine(
+        nfa, request.backend, use_cache=request.use_engine_cache
+    )
+    base = dict(engine.counters())
+    started = time.perf_counter()
+    result = run_montecarlo(nfa, length, num_samples, rng, engine)
+    elapsed = time.perf_counter() - started
+    return CountReport(
+        estimate=result.estimate,
+        method="montecarlo",
+        length=length,
+        num_states=nfa.num_states,
+        elapsed_seconds=elapsed,
+        backend=engine.name,
+        engine_counters=_engine_counter_deltas(engine, base, from_cache),
+        details={
+            "hits": result.hits,
+            "samples": result.samples,
+            "total_words": result.total_words,
+            "density_estimate": result.density_estimate,
+        },
+        raw=result,
+    )
+
+
+@register_method(
+    "bruteforce",
+    summary="exhaustive prefix-tree enumeration of the slice",
+    options=("limit",),
+)
+def _run_bruteforce(nfa: NFA, length: int, request: CountRequest) -> CountReport:
+    """Enumerate the slice exactly, reporting limit info and counter deltas."""
+    limit = request.options.get("limit", DEFAULT_ENUMERATION_LIMIT)
+    engine, from_cache = acquire_engine(
+        nfa, request.backend, use_cache=request.use_engine_cache
+    )
+    base = dict(engine.counters())
+    started = time.perf_counter()
+    count_value = enumerate_count(nfa, length, limit, engine)
+    elapsed = time.perf_counter() - started
+    return CountReport(
+        estimate=float(count_value),
+        method="bruteforce",
+        length=length,
+        num_states=nfa.num_states,
+        elapsed_seconds=elapsed,
+        backend=engine.name,
+        exact=True,
+        engine_counters=_engine_counter_deltas(engine, base, from_cache),
+        details={"limit": limit, "total_words": len(nfa.alphabet) ** length},
+        raw=count_value,
+    )
+
+
+@register_method("exact", summary="exact reachable-subset dynamic program")
+def _run_exact(nfa: NFA, length: int, request: CountRequest) -> CountReport:
+    """Run the exact subset DP (engineless; ``raw`` keeps full precision)."""
+    started = time.perf_counter()
+    count_value = count_exact(nfa, length)
+    elapsed = time.perf_counter() - started
+    return CountReport(
+        estimate=float(count_value),
+        method="exact",
+        length=length,
+        num_states=nfa.num_states,
+        elapsed_seconds=elapsed,
+        exact=True,
+        raw=count_value,
+    )
+
+
+# ----------------------------------------------------------------------
+# Dispatch and convenience entry points
+# ----------------------------------------------------------------------
+def dispatch(nfa: NFA, length: int, request: CountRequest) -> CountReport:
+    """Resolve a request's method, validate its options, and run it."""
+    method = resolve_method(request.method)
+    unknown = set(request.options) - set(method.option_names)
+    if unknown:
+        accepted = sorted(method.option_names)
+        raise CountingMethodError(
+            f"method {request.method!r} does not accept option(s) {sorted(unknown)}; "
+            f"accepted options: {accepted if accepted else 'none'}"
+        )
+    return method.run(nfa, length, request)
+
+
+def count(
+    nfa: NFA,
+    length: int,
+    method: str = DEFAULT_METHOD,
+    *,
+    epsilon: float = 0.5,
+    delta: float = 0.1,
+    seed: SeedLike = None,
+    backend: Optional[str] = None,
+    use_engine_cache: bool = True,
+    **options: object,
+) -> CountReport:
+    """Count ``|L(A_length)|`` with any registered method (``repro.count``).
+
+    Extra keyword arguments become per-method options (``scale``,
+    ``sample_cap``, ``num_samples``, ``limit``, …).
+
+    >>> from repro.automata.families import no_consecutive_ones_nfa
+    >>> count(no_consecutive_ones_nfa(), 5, method="bruteforce").raw
+    13
+    >>> count(no_consecutive_ones_nfa(), 5, method="no_such_method")
+    Traceback (most recent call last):
+        ...
+    repro.errors.CountingMethodError: unknown counting method 'no_such_method'; \
+available: ['acjr', 'bruteforce', 'exact', 'fpras', 'montecarlo']
+    """
+    request = CountRequest(
+        method=method,
+        epsilon=epsilon,
+        delta=delta,
+        seed=seed,
+        backend=backend,
+        use_engine_cache=use_engine_cache,
+        options=options,
+    )
+    return dispatch(nfa, length, request)
+
+
+class CountingSession:
+    """Pins the shared counting knobs once; every call goes through the registry.
+
+    A session is the façade the CLI, harness and applications use: seed,
+    backend and engine-cache policy are fixed at construction, repeated
+    calls on the same automaton reuse its engine through the shared
+    :class:`~repro.automata.engine.EngineRegistry` (watch
+    ``report.engine_counters["engine_cache_hit"]``), and every
+    :class:`CountReport` is kept in :attr:`reports` for later inspection.
+
+    >>> from repro.automata.families import no_consecutive_ones_nfa
+    >>> session = CountingSession(epsilon=0.4, seed=11)
+    >>> first = session.count(no_consecutive_ones_nfa(), 6)
+    >>> second = session.count(no_consecutive_ones_nfa(), 6)
+    >>> first.estimate == second.estimate  # pinned seed -> repeatable
+    True
+    >>> second.engine_counters["engine_cache_hit"]
+    1
+    >>> session.count(no_consecutive_ones_nfa(), 6, method="exact").raw
+    21
+    >>> len(session.reports)
+    3
+    """
+
+    def __init__(
+        self,
+        *,
+        method: str = DEFAULT_METHOD,
+        epsilon: float = 0.5,
+        delta: float = 0.1,
+        seed: SeedLike = None,
+        backend: Optional[str] = None,
+        use_engine_cache: bool = True,
+        **options: object,
+    ) -> None:
+        self._base = CountRequest(
+            method=method,
+            epsilon=epsilon,
+            delta=delta,
+            seed=seed,
+            backend=backend,
+            use_engine_cache=use_engine_cache,
+            options=options,
+        )
+        # Pinned options must be valid for the pinned method, so typos fail
+        # here instead of being silently dropped by the per-method filter in
+        # :meth:`request` (which only exists so a session pinned for one
+        # method can still run the others).
+        unknown = set(self._base.options) - set(resolve_method(method).option_names)
+        if unknown:
+            raise CountingMethodError(
+                f"session option(s) {sorted(unknown)} are not accepted by the "
+                f"pinned method {method!r}"
+            )
+        self._reports: List[CountReport] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def defaults(self) -> CountRequest:
+        """The pinned request every call starts from."""
+        return self._base
+
+    @property
+    def reports(self) -> Tuple[CountReport, ...]:
+        """Every report produced by this session, in call order."""
+        return tuple(self._reports)
+
+    @property
+    def last_report(self) -> Optional[CountReport]:
+        """The most recent report, or ``None`` before the first call."""
+        return self._reports[-1] if self._reports else None
+
+    # ------------------------------------------------------------------
+    def request(self, method: Optional[str] = None, **overrides: object) -> CountRequest:
+        """The request one call would use: pinned knobs plus overrides.
+
+        Session-level options that the target method does not accept are
+        dropped (so a session pinned for fpras can still run ``exact``);
+        per-call overrides are kept verbatim and validated at dispatch.
+        """
+        method_name = method if method is not None else self._base.method
+        accepted = resolve_method(method_name).option_names
+        core = {}
+        for knob in ("epsilon", "delta", "seed", "backend", "use_engine_cache"):
+            if knob in overrides:
+                core[knob] = overrides.pop(knob)
+        options = {
+            key: value
+            for key, value in self._base.options.items()
+            if key in accepted
+        }
+        options.update(overrides)
+        return replace(self._base, method=method_name, options=options, **core)
+
+    def count(
+        self, nfa: NFA, length: int, method: Optional[str] = None, **overrides: object
+    ) -> CountReport:
+        """Count one instance through the registry with the pinned knobs."""
+        report = dispatch(nfa, length, self.request(method, **overrides))
+        self._reports.append(report)
+        return report
+
+    def sampler(
+        self,
+        nfa: NFA,
+        length: int,
+        max_attempts_per_word: int = 64,
+        **overrides: object,
+    ):
+        """An almost-uniform word sampler sharing the session's pinned knobs.
+
+        Sampling rides the FPRAS tables, so the underlying counting pass
+        always uses the ``fpras`` method regardless of the session default.
+        Returns a :class:`~repro.counting.uniform.UniformWordSampler`.
+        """
+        from repro.counting.uniform import UniformWordSampler
+
+        return UniformWordSampler.from_request(
+            nfa,
+            length,
+            self.request("fpras", **overrides),
+            max_attempts_per_word=max_attempts_per_word,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """The pinned knobs as a plain dictionary (for reporting)."""
+        return {
+            "method": self._base.method,
+            "epsilon": self._base.epsilon,
+            "delta": self._base.delta,
+            "seed": self._base.seed,
+            "backend": self._base.backend,
+            "use_engine_cache": self._base.use_engine_cache,
+            "options": dict(self._base.options),
+            "calls": len(self._reports),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountingSession(method={self._base.method!r}, "
+            f"epsilon={self._base.epsilon}, delta={self._base.delta}, "
+            f"seed={self._base.seed!r}, backend={self._base.backend!r}, "
+            f"calls={len(self._reports)})"
+        )

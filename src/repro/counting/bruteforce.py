@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.automata.engine import acquire_engine
+from repro.automata.engine import Engine
 from repro.automata.nfa import NFA
 from repro.errors import ParameterError
 
@@ -19,14 +19,18 @@ from repro.errors import ParameterError
 DEFAULT_ENUMERATION_LIMIT = 2_000_000
 
 
-def count_bruteforce(
-    nfa: NFA,
-    length: int,
-    limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT,
-    backend: Optional[str] = None,
-    use_engine_cache: bool = True,
+def enumerate_count(
+    nfa: NFA, length: int, limit: Optional[int], engine: Engine
 ) -> int:
-    """Count ``|L(A_length)|`` by enumerating every word of that length.
+    """Prefix-tree enumeration of ``|L(A_length)|`` on a supplied engine.
+
+    This is the implementation behind the registered ``"bruteforce"``
+    counting method (see :mod:`repro.counting.api`), which handles engine
+    acquisition and wraps the count in a structured
+    :class:`~repro.counting.api.CountReport` carrying the limit and
+    engine-counter diagnostics; use :func:`count_bruteforce` or
+    ``repro.count(..., method="bruteforce")`` instead of calling it
+    directly.
 
     The enumeration walks the prefix tree depth-first, carrying the engine
     handle of the reachable-state set along each branch so shared prefixes
@@ -36,8 +40,7 @@ def count_bruteforce(
     multisets.  No per-(state, level) memoisation is used — every surviving
     word is visited individually — so the counter stays an oracle
     methodologically independent of the subset-construction DP in
-    :mod:`repro.automata.exact`.  The engine comes from the shared registry
-    unless ``use_engine_cache`` is ``False``.
+    :mod:`repro.automata.exact`.
 
     Raises :class:`~repro.errors.ParameterError` when the enumeration would
     exceed ``limit`` words (pass ``limit=None`` to disable the check).
@@ -49,7 +52,6 @@ def count_bruteforce(
         raise ParameterError(
             f"brute force would enumerate {total_words} words (> limit {limit})"
         )
-    engine, _ = acquire_engine(nfa, backend, use_cache=use_engine_cache)
     alphabet = nfa.alphabet
     accepting = engine.accepting
 
@@ -64,3 +66,33 @@ def count_bruteforce(
         )
 
     return count_from(engine.initial, length)
+
+
+def count_bruteforce(
+    nfa: NFA,
+    length: int,
+    limit: Optional[int] = DEFAULT_ENUMERATION_LIMIT,
+    backend: Optional[str] = None,
+    use_engine_cache: bool = True,
+) -> int:
+    """Count ``|L(A_length)|`` by enumerating every word of that length.
+
+    Legacy one-call entry point returning the bare ``int`` count.  It
+    delegates through the unified counting registry — the structured result
+    (wall time, ``engine_counters`` deltas, limit info) is available as the
+    :class:`~repro.counting.api.CountReport` returned by
+    ``repro.count(nfa, length, method="bruteforce", limit=...)``; this shim
+    simply unwraps ``report.raw``.  The engine comes from the shared
+    registry unless ``use_engine_cache`` is ``False``.
+    """
+    from repro.counting.api import count
+
+    report = count(
+        nfa,
+        length,
+        method="bruteforce",
+        backend=backend,
+        use_engine_cache=use_engine_cache,
+        limit=limit,
+    )
+    return report.raw

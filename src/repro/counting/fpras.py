@@ -403,13 +403,24 @@ def count_nfa(
     >>> result.estimate == count_nfa(
     ...     nfa, length=4, epsilon=0.5, seed=7, use_engine_cache=False).estimate
     True
+
+    The call delegates through the unified counting registry
+    (``repro.count(..., method="fpras")`` — see :mod:`repro.counting.api`)
+    and returns the raw :class:`CountResult`; estimates, RNG stream and
+    work counters are bit-identical to constructing :class:`NFACounter`
+    directly.
     """
-    parameters = FPRASParameters(
+    from repro.counting.api import count
+
+    report = count(
+        nfa,
+        length,
+        method="fpras",
         epsilon=epsilon,
         delta=delta,
-        scale=scale if scale is not None else ParameterScale.practical(),
         seed=seed,
         backend=backend,
         use_engine_cache=use_engine_cache,
+        scale=scale,
     )
-    return NFACounter(nfa, length, parameters).run()
+    return report.raw

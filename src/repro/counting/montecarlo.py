@@ -15,7 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.automata.engine import acquire_engine
+from repro.automata.engine import Engine
 from repro.automata.nfa import NFA
 from repro.errors import ParameterError
 
@@ -42,15 +42,20 @@ class MonteCarloEstimate:
         return abs(self.estimate - exact) / exact
 
 
-def count_montecarlo(
+def run_montecarlo(
     nfa: NFA,
     length: int,
-    num_samples: int = 10_000,
-    seed: Optional[Union[int, random.Random]] = None,
-    backend: Optional[str] = None,
-    use_engine_cache: bool = True,
+    num_samples: int,
+    rng: random.Random,
+    engine: Engine,
 ) -> MonteCarloEstimate:
-    """Estimate ``|L(A_length)|`` with ``num_samples`` uniform random words.
+    """Core Monte-Carlo loop over an already-acquired simulation engine.
+
+    This is the implementation behind the registered ``"montecarlo"``
+    counting method (see :mod:`repro.counting.api`), which handles engine
+    acquisition and diagnostics; use :func:`count_montecarlo` or
+    ``repro.count(..., method="montecarlo")`` instead of calling it
+    directly.
 
     All words are drawn up front (consuming the RNG stream exactly as the
     historical word-at-a-time loop did) and accepted in one
@@ -63,8 +68,6 @@ def count_montecarlo(
         raise ParameterError("length must be non-negative")
     if num_samples <= 0:
         raise ParameterError("num_samples must be positive")
-    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    engine, _ = acquire_engine(nfa, backend, use_cache=use_engine_cache)
     alphabet = list(nfa.alphabet)
     total_words = len(alphabet) ** length
     # Draw and test in fixed-size blocks: the RNG stream is identical to a
@@ -85,3 +88,33 @@ def count_montecarlo(
     return MonteCarloEstimate(
         estimate=estimate, hits=hits, samples=num_samples, total_words=total_words
     )
+
+
+def count_montecarlo(
+    nfa: NFA,
+    length: int,
+    num_samples: int = 10_000,
+    seed: Optional[Union[int, random.Random]] = None,
+    backend: Optional[str] = None,
+    use_engine_cache: bool = True,
+) -> MonteCarloEstimate:
+    """Estimate ``|L(A_length)|`` with ``num_samples`` uniform random words.
+
+    Legacy one-call entry point.  It delegates through the unified counting
+    registry (``repro.count(..., method="montecarlo")``) and returns the raw
+    :class:`MonteCarloEstimate`; the RNG stream, drawn words and estimate
+    are bit-identical to the historical direct implementation.  ``seed`` may
+    be an ``int`` or an existing ``random.Random`` stream to continue.
+    """
+    from repro.counting.api import count
+
+    report = count(
+        nfa,
+        length,
+        method="montecarlo",
+        seed=seed,
+        backend=backend,
+        use_engine_cache=use_engine_cache,
+        num_samples=num_samples,
+    )
+    return report.raw

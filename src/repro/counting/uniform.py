@@ -67,6 +67,33 @@ class UniformWordSampler:
 
     # ------------------------------------------------------------------
     @classmethod
+    def from_request(
+        cls,
+        nfa: NFA,
+        length: int,
+        request: "CountRequest",
+        max_attempts_per_word: int = 64,
+    ) -> "UniformWordSampler":
+        """Build a sampler from a unified :class:`~repro.counting.api.CountRequest`.
+
+        The counting pass that backs the sampler always runs the paper's
+        FPRAS (sampling needs its ``N`` / ``S`` tables), so the request's
+        method must be ``"fpras"``.  This is the path
+        :meth:`repro.counting.api.CountingSession.sampler` uses, and it is
+        bit-identical to building the :class:`NFACounter` by hand from the
+        same knobs.
+        """
+        from repro.counting.api import fpras_counter
+
+        if request.method != "fpras":
+            raise ParameterError(
+                f"uniform sampling requires the 'fpras' counting method, "
+                f"not {request.method!r} (the sampler reuses the FPRAS tables)"
+            )
+        counter = fpras_counter(nfa, length, request)
+        return cls(counter, max_attempts_per_word=max_attempts_per_word)
+
+    @classmethod
     def for_nfa(
         cls,
         nfa: NFA,

@@ -37,6 +37,17 @@ class ParameterError(ReproError):
     """Raised when FPRAS parameters are inconsistent or out of range."""
 
 
+class CountingMethodError(ParameterError, ValueError):
+    """Raised when a unified-counting method name or option is invalid.
+
+    Derives from both :class:`ParameterError` (so ``except ReproError``
+    still catches every library failure) and :class:`ValueError` (the
+    exception type application helpers such as
+    :func:`repro.applications.leakage.estimate_leakage_bits` historically
+    raised for bad method names).
+    """
+
+
 class SampleExhaustedError(ReproError):
     """Raised in strict mode when AppUnion consumes more samples than stored.
 

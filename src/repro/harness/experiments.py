@@ -25,9 +25,8 @@ from repro.analysis.complexity import growth_exponent, samples_per_state_table
 from repro.analysis.statistics import uniformity_report
 from repro.automata import families
 from repro.automata.exact import count_exact, count_per_state_exact, enumerate_slice
-from repro.counting.acjr import ACJRParameters, ACJRCounter
-from repro.counting.fpras import FPRASParameters, NFACounter, count_nfa
-from repro.counting.montecarlo import count_montecarlo
+from repro.counting.api import CountRequest, count as unified_count
+from repro.counting.fpras import FPRASParameters
 from repro.counting.params import ParameterScale
 from repro.counting.uniform import UniformWordSampler
 from repro.errors import ExperimentError
@@ -138,8 +137,9 @@ def run_accuracy(
     suite = accuracy_suite(length=length, epsilon=epsilon)
 
     def fpras_estimator(nfa, n, trial_seed):
-        return count_nfa(
-            nfa, n, epsilon=epsilon, delta=0.1, seed=trial_seed, backend=backend
+        return unified_count(
+            nfa, n, method="fpras", epsilon=epsilon, delta=0.1,
+            seed=trial_seed, backend=backend,
         ).estimate
 
     for workload in suite:
@@ -184,9 +184,10 @@ def _scaling_rows(
             "exact": exact,
         }
         started = time.perf_counter()
-        fpras = count_nfa(
+        fpras = unified_count(
             workload.nfa,
             workload.length,
+            method="fpras",
             epsilon=workload.epsilon,
             delta=workload.delta,
             seed=_derive_seed(rng),
@@ -194,23 +195,27 @@ def _scaling_rows(
         )
         row["fpras_seconds"] = time.perf_counter() - started
         row["fpras_rel_error"] = fpras.relative_error(exact)
-        row["fpras_samples_per_state"] = fpras.ns
+        row["fpras_samples_per_state"] = fpras.raw.ns
         row["backend"] = fpras.backend
         if include_acjr:
             started = time.perf_counter()
-            acjr = ACJRCounter(
+            acjr = unified_count(
                 workload.nfa,
                 workload.length,
-                ACJRParameters(epsilon=workload.epsilon, seed=_derive_seed(rng)),
-            ).run()
+                method="acjr",
+                epsilon=workload.epsilon,
+                seed=_derive_seed(rng),
+                backend=backend,
+            )
             row["acjr_seconds"] = time.perf_counter() - started
             row["acjr_rel_error"] = acjr.relative_error(exact)
-            row["acjr_samples_per_state"] = acjr.ns
+            row["acjr_samples_per_state"] = acjr.raw.ns
         if include_montecarlo:
             started = time.perf_counter()
-            montecarlo = count_montecarlo(
+            montecarlo = unified_count(
                 workload.nfa,
                 workload.length,
+                method="montecarlo",
                 num_samples=4000,
                 seed=_derive_seed(rng),
                 backend=backend,
@@ -430,11 +435,11 @@ def run_uniformity(
     ]
     for name, nfa, length in instances:
         population = enumerate_slice(nfa, length)
-        parameters = FPRASParameters(
-            epsilon=0.4, delta=0.2, seed=_derive_seed(rng), backend=backend
+        request = CountRequest(
+            method="fpras", epsilon=0.4, delta=0.2,
+            seed=_derive_seed(rng), backend=backend,
         )
-        counter = NFACounter(nfa, length, parameters)
-        sampler = UniformWordSampler(counter)
+        sampler = UniformWordSampler.from_request(nfa, length, request)
         words, report = sampler.sample_with_report(sample_count)
         uniformity = uniformity_report(words, population)
         result.add_row(

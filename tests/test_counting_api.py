@@ -1,0 +1,568 @@
+"""Tests for the unified counting façade (:mod:`repro.counting.api`).
+
+Three families of checks:
+
+* **differential parity** — ``repro.count(..., method=X)`` must be
+  bit-identical (estimate, RNG stream, work counters) to each legacy entry
+  point and to direct construction of the underlying counter classes under
+  a shared seed;
+* **error paths** — unknown methods, invalid :class:`CountRequest` fields
+  and unknown per-method options are rejected with typed errors;
+* **façade behaviour** — :class:`CountingSession` pinning, engine reuse
+  through the shared registry, report history, the sampler entry point and
+  the CLI's ``--method`` flag.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.automata.exact import count_exact
+from repro.automata.families import no_consecutive_ones_nfa, parity_nfa, substring_nfa
+from repro.cli import main
+from repro.counting.acjr import ACJRCounter, ACJRParameters, count_nfa_acjr
+from repro.counting.api import (
+    METHOD_REGISTRY,
+    CountingSession,
+    CountReport,
+    CountRequest,
+    available_methods,
+    count,
+    dispatch,
+    register_method,
+    resolve_method,
+)
+from repro.counting.bruteforce import count_bruteforce
+from repro.counting.fpras import FPRASParameters, NFACounter, count_nfa
+from repro.counting.montecarlo import count_montecarlo
+from repro.counting.params import ParameterScale
+from repro.counting.uniform import UniformWordSampler
+from repro.errors import CountingMethodError, ParameterError, ReproError
+
+SEED = 7
+
+
+@pytest.fixture
+def nfa():
+    return substring_nfa("101")
+
+
+# ----------------------------------------------------------------------
+# Differential parity: façade vs legacy entry points vs direct classes
+# ----------------------------------------------------------------------
+class TestFprasParity:
+    def test_shim_returns_identical_count_result(self, nfa):
+        legacy = count_nfa(nfa, 8, epsilon=0.5, delta=0.2, seed=SEED)
+        report = count(nfa, 8, method="fpras", epsilon=0.5, delta=0.2, seed=SEED)
+        assert type(report.raw) is type(legacy)
+        assert report.estimate == legacy.estimate
+        assert report.raw.union_calls == legacy.union_calls
+        assert report.raw.membership_calls == legacy.membership_calls
+        assert report.raw.sample_draws == legacy.sample_draws
+        assert report.raw.sample_successes == legacy.sample_successes
+        assert report.raw.state_estimates == legacy.state_estimates
+        assert report.backend == legacy.backend
+
+    def test_rng_stream_identical_to_direct_counter(self, nfa):
+        direct_rng, api_rng = random.Random(SEED), random.Random(SEED)
+        direct = NFACounter(
+            nfa, 8, FPRASParameters(epsilon=0.5, delta=0.2), rng=direct_rng
+        ).run()
+        report = count(nfa, 8, method="fpras", epsilon=0.5, delta=0.2, seed=api_rng)
+        assert direct_rng.getstate() == api_rng.getstate()
+        assert report.estimate == direct.estimate
+        assert report.raw.sample_draws == direct.sample_draws
+
+    def test_locked_work_counters_through_facade(self, nfa):
+        # The same fixed instance/seed as tests/test_work_counters.py: the
+        # façade must reproduce the locked accounting exactly.
+        report = count(
+            nfa,
+            8,
+            method="fpras",
+            epsilon=0.5,
+            delta=0.2,
+            seed=SEED,
+            scale=ParameterScale.practical(sample_cap=10, union_trial_cap=12),
+        )
+        assert report.estimate == 149.76388888888889
+        assert report.raw.union_calls == 240
+        assert report.raw.membership_calls == 446
+        assert report.raw.sample_draws == 1134
+        assert report.details["ns"] == 10
+        assert report.details["xns"] == 60
+
+    def test_report_normalisation(self, nfa):
+        report = count(nfa, 6, method="fpras", epsilon=0.4, seed=1)
+        assert report.method == "fpras"
+        assert report.length == 6 and report.num_states == nfa.num_states
+        assert report.epsilon == 0.4 and report.delta == 0.1
+        assert not report.exact
+        lower, upper = report.error_bounds()
+        assert lower == pytest.approx(report.estimate / 1.4)
+        assert upper == pytest.approx(report.estimate * 1.4)
+        assert "step_ops" in report.engine_counters
+        assert report.elapsed_seconds > 0
+
+
+class TestACJRParity:
+    def test_shim_returns_identical_result(self, nfa):
+        legacy = count_nfa_acjr(nfa, 6, epsilon=0.4, sample_cap=32, seed=2)
+        report = count(
+            nfa, 6, method="acjr", epsilon=0.4, seed=2, sample_cap=32
+        )
+        assert report.estimate == legacy.estimate
+        assert report.raw.membership_calls == legacy.membership_calls
+        assert report.raw.sample_draws == legacy.sample_draws
+        assert report.raw.state_estimates == legacy.state_estimates
+
+    def test_rng_stream_identical_to_direct_counter(self, nfa):
+        direct_rng, api_rng = random.Random(SEED), random.Random(SEED)
+        direct = ACJRCounter(
+            nfa, 6, ACJRParameters(epsilon=0.4), rng=direct_rng
+        ).run()
+        report = count(nfa, 6, method="acjr", epsilon=0.4, seed=api_rng)
+        assert direct_rng.getstate() == api_rng.getstate()
+        assert report.estimate == direct.estimate
+
+    def test_engine_counters_and_guarantee_fields(self, nfa):
+        report = count(nfa, 6, method="acjr", epsilon=0.4, seed=2)
+        assert report.epsilon == 0.4
+        assert "simulated_steps" in report.engine_counters
+        assert report.backend in ("bitset", "reference")
+
+
+class TestMonteCarloParity:
+    def test_shim_returns_identical_estimate(self, nfa):
+        legacy = count_montecarlo(nfa, 8, num_samples=400, seed=3)
+        report = count(nfa, 8, method="montecarlo", seed=3, num_samples=400)
+        assert report.raw == legacy  # frozen dataclass equality: all fields
+        assert report.details["hits"] == legacy.hits
+        assert report.details["total_words"] == legacy.total_words
+
+    def test_rng_stream_identical(self, nfa):
+        legacy_rng, api_rng = random.Random(SEED), random.Random(SEED)
+        legacy = count_montecarlo(nfa, 8, num_samples=300, seed=legacy_rng)
+        report = count(nfa, 8, method="montecarlo", seed=api_rng, num_samples=300)
+        assert legacy_rng.getstate() == api_rng.getstate()
+        assert report.estimate == legacy.estimate
+
+    def test_no_guarantee_fields(self, nfa):
+        report = count(nfa, 6, method="montecarlo", seed=1, num_samples=50)
+        assert report.epsilon is None and report.delta is None
+        assert report.error_bounds() is None
+        assert report.within_guarantee(count_exact(nfa, 6)) is None
+
+
+class TestBruteForceParity:
+    def test_shim_still_returns_bare_int(self, nfa):
+        value = count_bruteforce(nfa, 7)
+        assert isinstance(value, int)
+        assert value == count_exact(nfa, 7)
+
+    def test_report_is_structured(self, nfa):
+        report = count(nfa, 7, method="bruteforce", limit=1000)
+        assert report.exact
+        assert report.raw == count_exact(nfa, 7)
+        assert report.details["limit"] == 1000
+        assert report.details["total_words"] == 2**7
+        assert "step_ops" in report.engine_counters
+        assert report.error_bounds() == (report.estimate, report.estimate)
+
+    def test_limit_error_propagates_through_shim_and_facade(self, nfa):
+        with pytest.raises(ParameterError):
+            count_bruteforce(nfa, 30, limit=1000)
+        with pytest.raises(ParameterError):
+            count(nfa, 30, method="bruteforce", limit=1000)
+
+    def test_limit_none_disables_check(self, nfa):
+        assert count_bruteforce(nfa, 4, limit=None) == count_exact(nfa, 4)
+        assert count(nfa, 4, method="bruteforce", limit=None).raw == count_exact(nfa, 4)
+
+
+class TestExactMethod:
+    def test_exact_report(self, nfa):
+        report = count(nfa, 9, method="exact")
+        assert report.raw == count_exact(nfa, 9)
+        assert report.estimate == float(report.raw)
+        assert report.exact and report.backend is None
+        assert report.engine_counters == {}
+        assert report.within_guarantee(report.raw) is True
+        assert report.within_guarantee(report.raw + 1) is False
+
+
+# ----------------------------------------------------------------------
+# Error paths
+# ----------------------------------------------------------------------
+class TestErrorPaths:
+    def test_unknown_method(self, nfa):
+        with pytest.raises(CountingMethodError) as excinfo:
+            count(nfa, 4, method="quantum")
+        assert "quantum" in str(excinfo.value)
+        # The error is both a ValueError (historical contract) and a
+        # ReproError (library-wide catch-all).
+        assert isinstance(excinfo.value, ValueError)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_resolve_method_unknown(self):
+        with pytest.raises(CountingMethodError):
+            resolve_method("nope")
+
+    def test_unknown_option_rejected(self, nfa):
+        with pytest.raises(CountingMethodError) as excinfo:
+            count(nfa, 4, method="exact", num_samples=10)
+        assert "num_samples" in str(excinfo.value)
+
+    def test_option_for_wrong_method_rejected(self, nfa):
+        with pytest.raises(CountingMethodError):
+            count(nfa, 4, method="fpras", limit=10)
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"epsilon": 0.0},
+            {"epsilon": -1.0},
+            {"delta": 0.0},
+            {"delta": 1.0},
+            {"seed": "not-a-seed"},
+            {"backend": "no_such_backend"},
+            {"use_engine_cache": "yes"},
+            {"method": ""},
+            {"method": 42},
+            {"options": 17},
+            {"options": {3: "x"}},
+        ],
+    )
+    def test_invalid_request_fields(self, fields):
+        with pytest.raises(ParameterError):
+            CountRequest(**fields)
+
+    def test_request_defaults_are_valid(self):
+        request = CountRequest()
+        assert request.method == "fpras"
+        assert request.options == {}
+        assert request.integer_seed() is None
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(CountingMethodError):
+            register_method("fpras", summary="dup")(lambda nfa, n, req: None)
+
+    def test_sampler_requires_fpras_request(self, nfa):
+        request = CountRequest(method="exact")
+        with pytest.raises(ParameterError):
+            UniformWordSampler.from_request(nfa, 6, request)
+
+
+# ----------------------------------------------------------------------
+# Registry extensibility
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_five_methods_registered(self):
+        assert available_methods() == (
+            "acjr",
+            "bruteforce",
+            "exact",
+            "fpras",
+            "montecarlo",
+        )
+
+    def test_methods_carry_metadata(self):
+        for name in available_methods():
+            method = METHOD_REGISTRY[name]
+            assert method.name == name
+            assert method.summary
+            assert isinstance(method.option_names, frozenset)
+
+    def test_custom_method_pluggable(self, nfa):
+        @register_method("always42", summary="test stub", options=("offset",))
+        def _run(nfa_, length, request):
+            offset = request.option("offset", 0)
+            return CountReport(
+                estimate=42.0 + offset,
+                method="always42",
+                length=length,
+                num_states=nfa_.num_states,
+                elapsed_seconds=0.0,
+            )
+
+        try:
+            assert count(nfa, 3, method="always42").estimate == 42.0
+            assert count(nfa, 3, method="always42", offset=8).estimate == 50.0
+            session = CountingSession(method="always42")
+            assert session.count(nfa, 3).estimate == 42.0
+        finally:
+            del METHOD_REGISTRY["always42"]
+
+    def test_dispatch_accepts_prebuilt_request(self, nfa):
+        request = CountRequest(method="exact")
+        report = dispatch(nfa, 5, request)
+        assert report.raw == count_exact(nfa, 5)
+
+
+# ----------------------------------------------------------------------
+# CountingSession façade
+# ----------------------------------------------------------------------
+class TestCountingSession:
+    def test_pinned_seed_is_repeatable(self, nfa):
+        session = CountingSession(epsilon=0.5, delta=0.2, seed=SEED)
+        first = session.count(nfa, 8)
+        second = session.count(nfa, 8)
+        assert first.estimate == second.estimate
+        assert first.raw.sample_draws == second.raw.sample_draws
+
+    def test_session_matches_one_shot_count(self, nfa):
+        session = CountingSession(epsilon=0.5, delta=0.2, seed=SEED)
+        assert (
+            session.count(nfa, 8).estimate
+            == count(nfa, 8, method="fpras", epsilon=0.5, delta=0.2, seed=SEED).estimate
+        )
+
+    def test_repeated_calls_reuse_engine(self, nfa):
+        session = CountingSession(epsilon=0.5, seed=1)
+        session.count(nfa, 6)
+        second = session.count(nfa, 6)
+        assert second.engine_counters["engine_cache_hit"] == 1
+
+    def test_no_engine_cache_opts_out(self, nfa):
+        session = CountingSession(epsilon=0.5, seed=1, use_engine_cache=False)
+        session.count(nfa, 6)
+        second = session.count(nfa, 6)
+        assert second.engine_counters["engine_cache_hit"] == 0
+
+    def test_reports_history_and_last(self, nfa):
+        session = CountingSession(seed=1)
+        assert session.last_report is None
+        session.count(nfa, 5)
+        session.count(nfa, 5, method="exact")
+        assert len(session.reports) == 2
+        assert session.last_report.method == "exact"
+
+    def test_per_call_overrides(self, nfa):
+        session = CountingSession(epsilon=0.5, seed=1)
+        report = session.count(nfa, 5, epsilon=0.25)
+        assert report.epsilon == 0.25
+        # The pinned default is untouched.
+        assert session.defaults.epsilon == 0.5
+
+    def test_session_options_filtered_per_method(self, nfa):
+        # A session pinned with an fpras-only option can still run exact.
+        session = CountingSession(
+            seed=1, scale=ParameterScale.practical(sample_cap=8)
+        )
+        assert session.count(nfa, 5, method="exact").raw == count_exact(nfa, 5)
+        assert session.count(nfa, 5).details["ns"] <= 8
+
+    def test_per_call_unknown_option_still_rejected(self, nfa):
+        session = CountingSession(seed=1)
+        with pytest.raises(CountingMethodError):
+            session.count(nfa, 5, method="exact", limit=3)
+
+    def test_pinned_option_typo_rejected_at_construction(self):
+        # A misspelled (or wrong-method) pinned option must fail loudly at
+        # construction, not be silently dropped by the per-method filter.
+        with pytest.raises(CountingMethodError):
+            CountingSession(method="montecarlo", nun_samples=17)
+        with pytest.raises(CountingMethodError):
+            CountingSession(num_samples=17)  # not an fpras option
+
+    def test_unknown_method_at_request_time(self, nfa):
+        session = CountingSession(seed=1)
+        with pytest.raises(CountingMethodError):
+            session.request("bogus")
+
+    def test_every_method_invocable_through_session(self, nfa):
+        session = CountingSession(epsilon=0.5, seed=2)
+        exact = count_exact(nfa, 6)
+        for method in available_methods():
+            report = session.count(nfa, 6, method=method)
+            assert report.method == method
+            assert report.estimate >= 0
+            if report.exact:
+                assert report.raw == exact
+
+    def test_sampler_through_session(self):
+        nfa = no_consecutive_ones_nfa()
+        session = CountingSession(epsilon=0.4, seed=3)
+        sampler = session.sampler(nfa, 8)
+        words = sampler.sample_many(4)
+        assert len(words) == 4
+        for word in words:
+            assert len(word) == 8
+            assert ("1", "1") not in tuple(zip(word, word[1:]))
+
+    def test_sampler_matches_direct_construction(self):
+        nfa = no_consecutive_ones_nfa()
+        direct = UniformWordSampler(
+            NFACounter(nfa, 8, FPRASParameters(epsilon=0.4, delta=0.1, seed=3))
+        )
+        session = CountingSession(epsilon=0.4, seed=3)
+        facade = session.sampler(nfa, 8)
+        assert direct.sample_many(5) == facade.sample_many(5)
+
+    def test_describe(self, nfa):
+        session = CountingSession(epsilon=0.3, seed=9, backend="reference")
+        session.count(nfa, 4, method="exact")
+        description = session.describe()
+        assert description["epsilon"] == 0.3
+        assert description["backend"] == "reference"
+        assert description["calls"] == 1
+
+
+# ----------------------------------------------------------------------
+# Top-level exports and CLI integration
+# ----------------------------------------------------------------------
+class TestTopLevelSurface:
+    def test_repro_count_is_the_facade(self, nfa):
+        report = repro.count(nfa, 5, method="exact")
+        assert isinstance(report, CountReport)
+        assert report.raw == count_exact(nfa, 5)
+
+    def test_public_exports(self):
+        for name in (
+            "count",
+            "CountingSession",
+            "CountRequest",
+            "CountReport",
+            "available_methods",
+            "register_method",
+        ):
+            assert hasattr(repro, name)
+
+
+class TestCLIMethodFlag:
+    @pytest.mark.parametrize("method", ["fpras", "acjr", "montecarlo", "bruteforce", "exact"])
+    def test_count_with_each_method(self, method, capsys):
+        assert (
+            main(
+                ["count", "parity", "-n", "5", "--method", method, "--seed", "1"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert method in output
+
+    def test_method_with_compare(self, capsys):
+        assert (
+            main(
+                [
+                    "count",
+                    "no_consecutive_ones",
+                    "-n",
+                    "6",
+                    "--method",
+                    "montecarlo",
+                    "--compare",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "montecarlo" in output and "exact" in output and "rel_error" in output
+
+    def test_unknown_method_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["count", "parity", "--method", "quantum"])
+
+    def test_methods_subcommand(self, capsys):
+        assert main(["methods"]) == 0
+        output = capsys.readouterr().out
+        for method in available_methods():
+            assert method in output
+
+    def test_shared_parent_parser_defaults(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        count_args = parser.parse_args(["count", "parity"])
+        sample_args = parser.parse_args(["sample", "parity"])
+        # The shared block exists on both; only the epsilon default differs.
+        assert count_args.epsilon == 0.3
+        assert sample_args.epsilon == 0.4
+        for namespace in (count_args, sample_args):
+            assert namespace.delta == 0.1
+            assert namespace.seed is None
+            assert namespace.no_engine_cache is False
+            assert namespace.backend == "bitset"
+
+    def test_per_method_option_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "count",
+                    "parity",
+                    "-n",
+                    "5",
+                    "--method",
+                    "montecarlo",
+                    "--num-samples",
+                    "123",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "123" in capsys.readouterr().out
+
+    def test_bruteforce_limit_flag(self, capsys):
+        # Over the limit: a one-line error with exit code 2, no traceback.
+        assert (
+            main(["count", "parity", "-n", "8", "--method", "bruteforce", "--limit", "10"])
+            == 2
+        )
+        assert "brute force" in capsys.readouterr().err
+        # Raised limit: succeeds.
+        assert (
+            main(["count", "parity", "-n", "8", "--method", "bruteforce", "--limit", "500"])
+            == 0
+        )
+        # 0 disables the safety valve entirely.
+        assert (
+            main(["count", "parity", "-n", "8", "--method", "bruteforce", "--limit", "0"])
+            == 0
+        )
+
+    def test_option_for_wrong_method_is_clean_error(self, capsys):
+        assert (
+            main(["count", "parity", "-n", "5", "--num-samples", "10", "--seed", "1"])
+            == 2
+        )
+        assert "num_samples" in capsys.readouterr().err
+
+    def test_compare_with_exact_method_runs_dp_once(self, capsys):
+        assert (
+            main(["count", "parity", "-n", "6", "--method", "exact", "--compare"]) == 0
+        )
+        output = capsys.readouterr().out
+        # Exactly one table row for the exact method (the DP ran once and
+        # its report was reused), plus the run-details block.
+        table_rows = [
+            line for line in output.splitlines() if line.startswith("exact")
+        ]
+        assert len(table_rows) == 1
+        assert "run details" in output
+
+    def test_backend_flag_still_threaded(self, capsys):
+        assert (
+            main(
+                [
+                    "count",
+                    "parity",
+                    "-n",
+                    "5",
+                    "--seed",
+                    "1",
+                    "--backend",
+                    "reference",
+                    "--no-engine-cache",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "reference" in output

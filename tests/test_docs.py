@@ -25,6 +25,7 @@ DOCTEST_MODULES = [
     "repro.counting.params",
     "repro.counting.union",
     "repro.counting.fpras",
+    "repro.counting.api",
 ]
 
 #: The floor CI enforces with ``tools/check_docstrings.py --fail-under 80``.
