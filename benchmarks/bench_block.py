@@ -1,0 +1,104 @@
+"""Block-simulation crossover: where the numpy backend overtakes bitset.
+
+The bitset backend costs ``ceil(m / 8)`` Python-level loop iterations per
+simulation step; the numpy block backend costs a fixed handful of NumPy
+calls per step (scalar path) or per trie level (batched path) regardless
+of ``m``.  Somewhere between those regimes the curves cross.  This
+benchmark sweeps ``m`` over both paths, reports the measured crossover
+point of each, and checks that the ``auto`` selection threshold
+(:data:`repro.automata.engine.AUTO_BLOCK_THRESHOLD`) is consistent with
+the measurement: at every ``m`` above the threshold the batched numpy
+path — the one the counting layer actually drives since the AppUnion
+membership loop was batched — must not lose to bitset.
+
+Like every benchmark in this tree, the assertions pin the *shape* of the
+claim (who wins where), not absolute timings.
+"""
+
+from __future__ import annotations
+
+from block_workloads import best_of, block_instance, block_words
+
+from repro.automata.engine import AUTO_BLOCK_THRESHOLD, create_engine, resolve_backend
+from repro.harness.reporting import format_table
+
+#: The m sweep bracketing the expected crossover region.
+CROSSOVER_STATE_COUNTS = (32, 64, 128, 192, 256, 384, 512)
+CROSSOVER_WORDS = 250
+CROSSOVER_WORD_LENGTH = 12
+
+
+def _sweep(bench_rng):
+    """Per-m scalar and batched membership timings for both fast backends."""
+    rows = []
+    for num_states in CROSSOVER_STATE_COUNTS:
+        nfa = block_instance(num_states, seed=29 + num_states)
+        words = block_words(nfa, bench_rng, CROSSOVER_WORDS, CROSSOVER_WORD_LENGTH)
+        bitset = create_engine(nfa, "bitset")
+        block = create_engine(nfa, "numpy")
+        assert bitset.accepts_batch(words) == block.accepts_batch(words)
+
+        def scalar_pass(engine):
+            def run():
+                for word in words:
+                    engine.accepts(word)
+            return run
+
+        row = {
+            "m": num_states,
+            "auto_resolves_to": resolve_backend(nfa, "auto"),
+            "bitset_scalar_s": best_of(scalar_pass(bitset)),
+            "numpy_scalar_s": best_of(scalar_pass(block)),
+            "bitset_batch_s": best_of(lambda: bitset.accepts_batch(words)),
+            "numpy_batch_s": best_of(lambda: block.accepts_batch(words)),
+        }
+        row["scalar_speedup"] = row["bitset_scalar_s"] / row["numpy_scalar_s"]
+        row["batch_speedup"] = row["bitset_batch_s"] / row["numpy_batch_s"]
+        rows.append(row)
+    return rows
+
+
+def _crossover(rows, key: str):
+    """Smallest m from which the numpy backend never loses again, or None."""
+    winning_from = None
+    for row in rows:
+        if row[key] >= 1.0:
+            if winning_from is None:
+                winning_from = row["m"]
+        else:
+            winning_from = None
+    return winning_from
+
+
+def test_block_backend_crossover(benchmark, report, bench_rng):
+    rows = benchmark.pedantic(_sweep, args=(bench_rng,), rounds=1, iterations=1)
+    report(
+        format_table(
+            rows,
+            title="Block-simulation crossover sweep (bitset vs numpy, scalar and batched)",
+        )
+    )
+    scalar_crossover = _crossover(rows, "scalar_speedup")
+    batch_crossover = _crossover(rows, "batch_speedup")
+    report(
+        "Block crossover note: batched path overtakes bitset from "
+        f"m={batch_crossover}, scalar path from m={scalar_crossover}; "
+        f"auto threshold is m>{AUTO_BLOCK_THRESHOLD}"
+    )
+    # The batched path (what the counting layer drives) must have crossed
+    # over by the sweep's end, and everywhere the auto selector would pick
+    # numpy it must not lose on that path.
+    assert batch_crossover is not None, (
+        f"numpy batched path never overtook bitset: "
+        f"{[(row['m'], round(row['batch_speedup'], 2)) for row in rows]}"
+    )
+    assert batch_crossover <= max(CROSSOVER_STATE_COUNTS)
+    for row in rows:
+        if row["m"] > AUTO_BLOCK_THRESHOLD:
+            assert row["auto_resolves_to"] == "numpy"
+            assert row["batch_speedup"] >= 1.0, (
+                f"auto picks numpy at m={row['m']} but the batched path is "
+                f"{row['batch_speedup']:.2f}x"
+            )
+        else:
+            assert row["auto_resolves_to"] == "bitset"

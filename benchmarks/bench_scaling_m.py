@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import time
 
+from block_workloads import best_of, block_instance, block_words
+
 from repro.automata.engine import create_engine
 from repro.harness.experiments import run_scaling_states
 from repro.harness.reporting import format_table
@@ -30,6 +32,16 @@ from repro.workloads.generator import scaling_suite_states
 SPEEDUP_STATE_COUNTS = (8, 16, 24)
 SPEEDUP_WORDS = 2000
 SPEEDUP_MIN_RATIO = 3.0
+
+#: State counts of the large-m block-backend sweep (the m >> 64 regime the
+#: numpy backend targets); the assertion only binds at the largest m.
+BLOCK_STATE_COUNTS = (64, 128, 256, 512)
+BLOCK_WORDS = 300
+BLOCK_WORD_LENGTH = 12
+#: At the largest m the numpy backend must at least match the bitset
+#: backend's batched membership throughput (it is ~2-3x faster in practice;
+#: the conservative bound keeps the assertion robust on noisy CI runners).
+BLOCK_MIN_RATIO_AT_MAX_M = 1.0
 
 
 def test_e4_scaling_with_states(benchmark, report, bench_seed):
@@ -117,4 +129,57 @@ def test_e4_engine_membership_speedup(benchmark, report, bench_rng):
     assert geometric_mean >= SPEEDUP_MIN_RATIO, (
         f"bitset speedup {geometric_mean:.2f}x below the {SPEEDUP_MIN_RATIO}x target; "
         f"per-m ratios: {[round(r, 2) for r in ratios]}"
+    )
+
+
+def _block_backend_comparison(bench_rng):
+    """Bitset vs numpy batched membership throughput over an m >> 64 sweep."""
+    rows = []
+    ratios = {}
+    for num_states in BLOCK_STATE_COUNTS:
+        nfa = block_instance(num_states, seed=17 + num_states)
+        words = block_words(nfa, bench_rng, BLOCK_WORDS, BLOCK_WORD_LENGTH)
+        bitset = create_engine(nfa, "bitset")
+        block = create_engine(nfa, "numpy")
+        # Differential check: both backends must agree on every query.
+        assert bitset.accepts_batch(words) == block.accepts_batch(words)
+        bitset_seconds = best_of(lambda: bitset.accepts_batch(words))
+        block_seconds = best_of(lambda: block.accepts_batch(words))
+        ratio = bitset_seconds / block_seconds
+        ratios[num_states] = ratio
+        rows.append(
+            {
+                "m": num_states,
+                "words": BLOCK_WORDS,
+                "length": BLOCK_WORD_LENGTH,
+                "bitset_seconds": bitset_seconds,
+                "numpy_seconds": block_seconds,
+                "numpy_speedup": ratio,
+            }
+        )
+    return rows, ratios
+
+
+def test_e4_block_backend_large_m(benchmark, report, bench_rng):
+    """numpy block backend vs bitset on the m in {64..512} membership sweep."""
+    rows, ratios = benchmark.pedantic(
+        _block_backend_comparison, args=(bench_rng,), rounds=1, iterations=1
+    )
+    report(
+        format_table(
+            rows,
+            title=(
+                "E4 large-m backend comparison: batched membership "
+                "(bitset vs numpy block simulation)"
+            ),
+        )
+    )
+    largest = max(BLOCK_STATE_COUNTS)
+    report(
+        f"E4 block note: numpy speedup at m={largest} is {ratios[largest]:.2f}x "
+        f"(sweep: {[(m, round(r, 2)) for m, r in sorted(ratios.items())]})"
+    )
+    assert ratios[largest] >= BLOCK_MIN_RATIO_AT_MAX_M, (
+        f"numpy block backend is {ratios[largest]:.2f}x the bitset throughput at "
+        f"m={largest}, below the {BLOCK_MIN_RATIO_AT_MAX_M}x floor"
     )

@@ -25,7 +25,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
-from repro.automata.engine import Engine, register_engine
+from repro.automata.engine import (
+    DECODE_CACHE_LIMIT,
+    Engine,
+    decode_mask,
+    register_engine,
+)
 from repro.automata.nfa import NFA, State, Symbol
 from repro.errors import AutomatonError
 
@@ -38,12 +43,6 @@ _CHUNK_MASK = _CHUNK_SIZE - 1
 #: A chunked relation: ``tables[c][v]`` is the image of the state set whose
 #: mask is ``v << (8 c)``.
 ChunkTables = List[List[int]]
-
-#: Cap on memoised decoded frozensets per engine.  Engines held by the
-#: shared registry live for the whole process, so the decode memo must not
-#: grow without bound (up to 2^m distinct masks exist); one FPRAS run
-#: touches far fewer distinct sets than this.
-_DECODE_CACHE_LIMIT = 1 << 16
 
 
 def _chunk_tables(rows: List[int], size: int) -> ChunkTables:
@@ -185,7 +184,8 @@ class BitsetEngine(Engine):
     def decode(self, handle: int) -> FrozenSet[State]:
         """Frozenset of the set bits, memoised per distinct mask.
 
-        The memo is bounded by :data:`_DECODE_CACHE_LIMIT` so that engines
+        The memo is bounded by
+        :data:`~repro.automata.engine.DECODE_CACHE_LIMIT` so that engines
         pinned by the shared registry cannot accumulate unbounded decoded
         sets over a long-running process; past the limit the decode is
         still computed, just not remembered.
@@ -194,15 +194,8 @@ class BitsetEngine(Engine):
         if cached is not None:
             return cached
         self.decode_ops += 1
-        states = self._states
-        members = []
-        mask = handle
-        while mask:
-            low = mask & -mask
-            members.append(states[low.bit_length() - 1])
-            mask ^= low
-        result = frozenset(members)
-        if len(self._decode_cache) < _DECODE_CACHE_LIMIT:
+        result = decode_mask(self._states, handle)
+        if len(self._decode_cache) < DECODE_CACHE_LIMIT:
             self._decode_cache[handle] = result
         return result
 

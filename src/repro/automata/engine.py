@@ -72,9 +72,45 @@ from repro.errors import AutomatonError, ParameterError
 #: The backend used when callers do not ask for a specific one.
 DEFAULT_BACKEND = "bitset"
 
+#: Pseudo-backend resolved per automaton by :func:`resolve_backend`.
+AUTO_BACKEND = "auto"
+
+#: State count above which ``"auto"`` picks the vectorised ``"numpy"`` block
+#: backend over the integer-mask ``"bitset"`` backend.  Below it the bitset
+#: engine's byte-chunked lookup loop is cheaper than NumPy call overhead;
+#: above it the block representation wins (``benchmarks/bench_block.py``
+#: records the measured crossover on membership-dominated workloads, which
+#: sits between 256 and 512 states on current CPython/NumPy builds).
+AUTO_BLOCK_THRESHOLD = 256
+
 #: ``upto`` argument of :meth:`Engine.membership_batch`: one bound for every
 #: word, a per-word sequence of bounds, or ``None`` for "all states".
 UptoSpec = Union[None, int, Sequence[int]]
+
+#: Cap on memoised decoded frozensets per mask-based engine.  Engines held
+#: by the shared registry live for the whole process, so decode memos must
+#: not grow without bound (up to 2^m distinct masks exist); one FPRAS run
+#: touches far fewer distinct sets than this.
+DECODE_CACHE_LIMIT = 1 << 16
+
+
+def decode_mask(states: Sequence[State], mask: int) -> FrozenSet[State]:
+    """Frozenset of the states whose bits are set in an integer mask.
+
+    Shared by the mask-based backends (``bitset`` stores masks as Python
+    ints, ``numpy`` as the little-endian bytes of a block vector): bit
+    ``i`` of ``mask`` selects ``states[i]``.  Keeping the bit iteration in
+    one place keeps the two backends' decode semantics from drifting.
+
+    >>> sorted(decode_mask(("a", "b", "c"), 0b101))
+    ['a', 'c']
+    """
+    members = []
+    while mask:
+        low = mask & -mask
+        members.append(states[low.bit_length() - 1])
+        mask ^= low
+    return frozenset(members)
 
 
 class Engine(ABC):
@@ -482,14 +518,44 @@ def register_engine(name: str, factory: EngineFactory) -> None:
 
 
 def available_backends() -> Tuple[str, ...]:
-    """Sorted names of all registered simulation backends."""
-    return tuple(sorted(ENGINE_REGISTRY))
+    """Sorted names of all selectable simulation backends.
+
+    Includes the ``"auto"`` pseudo-backend, which :func:`resolve_backend`
+    maps to a concrete registered backend per automaton.
+    """
+    return tuple(sorted([*ENGINE_REGISTRY, AUTO_BACKEND]))
+
+
+def resolve_backend(nfa: NFA, backend: Optional[str]) -> str:
+    """The concrete registry name a backend request denotes for ``nfa``.
+
+    ``None`` selects :data:`DEFAULT_BACKEND`; :data:`AUTO_BACKEND` picks the
+    integer-mask ``"bitset"`` engine up to :data:`AUTO_BLOCK_THRESHOLD`
+    states and the vectorised ``"numpy"`` block engine above it (falling
+    back to ``"bitset"`` when NumPy is unavailable).  Resolution happens
+    before registry keying, so ``"auto"`` shares engine instances with the
+    concrete backend it resolves to.
+
+    >>> from repro.automata.nfa import NFA
+    >>> nfa = NFA.build([("a", "0", "a")], initial="a", accepting=["a"])
+    >>> resolve_backend(nfa, None)
+    'bitset'
+    >>> resolve_backend(nfa, "auto")
+    'bitset'
+    """
+    key = backend if backend is not None else DEFAULT_BACKEND
+    if key == AUTO_BACKEND:
+        if nfa.num_states > AUTO_BLOCK_THRESHOLD and "numpy" in ENGINE_REGISTRY:
+            return "numpy"
+        return DEFAULT_BACKEND
+    return key
 
 
 def create_engine(nfa: NFA, backend: Optional[str] = None) -> Engine:
     """Instantiate a *fresh* simulation engine for ``nfa``.
 
-    ``backend`` is a registry name; ``None`` selects :data:`DEFAULT_BACKEND`.
+    ``backend`` is a registry name (or ``"auto"``, resolved per automaton by
+    :func:`resolve_backend`); ``None`` selects :data:`DEFAULT_BACKEND`.
     Construction builds the backend's lookup tables from scratch — callers
     on a hot path should prefer :func:`acquire_engine`, which memoises
     engines per ``(nfa, backend)`` in the shared :class:`EngineRegistry`.
@@ -500,8 +566,10 @@ def create_engine(nfa: NFA, backend: Optional[str] = None) -> Engine:
     'bitset'
     >>> create_engine(nfa, "reference").name
     'reference'
+    >>> create_engine(nfa, "auto").name  # 1 state: below the block threshold
+    'bitset'
     """
-    key = backend if backend is not None else DEFAULT_BACKEND
+    key = resolve_backend(nfa, backend)
     try:
         factory = ENGINE_REGISTRY[key]
     except KeyError:
@@ -568,9 +636,12 @@ class EngineRegistry:
         """The shared engine for ``(nfa, backend)`` plus whether it was cached.
 
         The lookup, hit accounting and LRU maintenance happen atomically,
-        so the hit flag is reliable even with concurrent callers.
+        so the hit flag is reliable even with concurrent callers.  Backend
+        names are resolved first (``None`` → default, ``"auto"`` → concrete
+        backend for this automaton's size), so an ``"auto"`` acquisition
+        shares the slot of the backend it resolves to.
         """
-        key = (nfa, backend if backend is not None else DEFAULT_BACKEND)
+        key = (nfa, resolve_backend(nfa, backend))
         with self._lock:
             engine = self._entries.get(key)
             if engine is not None:
@@ -644,6 +715,8 @@ def acquire_engine(
     return target.acquire(nfa, backend)
 
 
-# Import for the side effect of registering the bitset backend.  Placed at
-# the bottom so the bitset module can import the Engine base class above.
+# Imports for the side effect of registering the bitset and numpy block
+# backends.  Placed at the bottom so both modules can import the Engine base
+# class above.  The block module registers itself only when NumPy imports.
 from repro.automata import bitset as _bitset  # noqa: E402,F401  (registration)
+from repro.automata import block as _block  # noqa: E402,F401  (registration)

@@ -19,6 +19,49 @@ from repro.errors import AutomatonError
 JSON_FORMAT_VERSION = 1
 
 
+def _stringified_states(nfa: NFA) -> Dict[object, str]:
+    """Map every state to its string label, rejecting stringification collisions.
+
+    Both serialisation formats identify states by ``str(state)``.  Two
+    *distinct* states whose labels collide once stringified (e.g. the
+    integer ``1`` and the string ``"1"``) would silently merge on the way
+    out and change the automaton's language on the way back in, so the
+    collision is an error rather than a corruption.
+    """
+    labels: Dict[object, str] = {}
+    seen: Dict[str, object] = {}
+    for state in nfa.states:
+        label = str(state)
+        # Membership test, not a None sentinel: a literal ``None`` state is
+        # a valid (hashable) state and must still collide with ``"None"``.
+        if label in seen and seen[label] != state:
+            raise AutomatonError(
+                f"states {seen[label]!r} and {state!r} both stringify to "
+                f"{label!r}; rename the states so their labels are unique "
+                "before serialising"
+            )
+        seen[label] = state
+        labels[state] = label
+    return labels
+
+
+def _require_string_alphabet(nfa: NFA) -> None:
+    """Reject alphabets with non-string symbols (they cannot round-trip).
+
+    Parsers coerce every symbol with ``str(...)``, so a non-string symbol
+    (say the integer ``0``) would come back as a different object (``"0"``)
+    and the rebuilt automaton's language would no longer contain the
+    original words.  Failing here keeps the corruption impossible.
+    """
+    for symbol in nfa.alphabet:
+        if not isinstance(symbol, str):
+            raise AutomatonError(
+                f"alphabet symbol {symbol!r} is not a string; serialisation "
+                "only supports string symbols (convert the alphabet, e.g. via "
+                "NFA.build, before dumping)"
+            )
+
+
 # ----------------------------------------------------------------------
 # JSON
 # ----------------------------------------------------------------------
@@ -27,8 +70,13 @@ def nfa_to_dict(nfa: NFA) -> Dict[str, object]:
 
     State labels are stringified; automata whose states are not strings are
     therefore serialisable but come back with string labels (language and
-    slice counts are unaffected).
+    slice counts are unaffected).  Distinct states whose labels collide
+    once stringified, and alphabets containing non-string symbols, raise
+    :class:`~repro.errors.AutomatonError` instead of corrupting the
+    language silently.
     """
+    _require_string_alphabet(nfa)
+    _stringified_states(nfa)
     return {
         "format": "repro-nfa",
         "version": JSON_FORMAT_VERSION,
@@ -68,7 +116,16 @@ def nfa_from_dict(document: Dict[str, object]) -> NFA:
 
 
 def dumps(nfa: NFA, indent: Optional[int] = 2) -> str:
-    """Serialise the NFA as a JSON string."""
+    """Serialise the NFA as a JSON string.
+
+    State labels are coerced with ``str(...)`` on the way out (and again by
+    :func:`nfa_from_dict` on the way in), so non-string state labels
+    round-trip into their string form — the language over the (string)
+    alphabet is unaffected.  Alphabet symbols must already be strings and
+    stringified state labels must be collision-free; both are validated by
+    :func:`nfa_to_dict` and violations raise
+    :class:`~repro.errors.AutomatonError`.
+    """
     return json.dumps(nfa_to_dict(nfa), indent=indent, sort_keys=True)
 
 
@@ -104,6 +161,30 @@ def load(source: Union[str, TextIO]) -> NFA:
 # ----------------------------------------------------------------------
 # Line-oriented text format
 # ----------------------------------------------------------------------
+def _text_token(label: str, kind: str) -> str:
+    """Validate one whitespace-delimited token of the text format.
+
+    The format separates tokens with whitespace, treats lines starting
+    with ``#`` as comments, and recognises ``header:`` lines by their
+    colon, so labels containing any of those cannot be written
+    unambiguously.  Rejecting them here (rather than emitting text
+    :func:`nfa_from_text` would mis-parse or refuse) keeps the round trip
+    lossless; the JSON format has no such lexical constraints.
+    """
+    if (
+        not label
+        or any(character.isspace() for character in label)
+        or label.startswith("#")
+        or ":" in label
+    ):
+        raise AutomatonError(
+            f"{kind} label {label!r} cannot be represented in the text format "
+            "(labels must be non-empty, contain no whitespace or ':', and not "
+            "start with '#'); use the JSON format (dumps/loads) for such labels"
+        )
+    return label
+
+
 def nfa_to_text(nfa: NFA) -> str:
     """A human-editable text form.
 
@@ -112,19 +193,41 @@ def nfa_to_text(nfa: NFA) -> str:
         alphabet: 0 1
         initial: q0
         accepting: q2 q3
+        states: q0 q1 q2 q3 lonely
         q0 0 q1
         q1 1 q2
         ...
 
-    Comment lines start with ``#``; blank lines are ignored.
+    Comment lines start with ``#``; blank lines are ignored.  The
+    ``states:`` line is emitted only when some state appears in no
+    transition and is neither initial nor accepting — without it such
+    isolated states would be silently dropped by a
+    ``nfa_to_text`` → :func:`nfa_from_text` round trip.  Labels that the
+    line-oriented format cannot represent (whitespace, ``':'``, leading
+    ``'#'``, empty, or distinct states colliding once stringified) raise
+    :class:`~repro.errors.AutomatonError`; use the JSON format for those
+    automata.
     """
+    labels = _stringified_states(nfa)
+    _require_string_alphabet(nfa)
+    for symbol in nfa.alphabet:
+        _text_token(symbol, "alphabet symbol")
+    for label in labels.values():
+        _text_token(label, "state")
     lines = [
         "alphabet: " + " ".join(nfa.alphabet),
-        "initial: " + str(nfa.initial),
-        "accepting: " + " ".join(sorted(str(state) for state in nfa.accepting)),
+        "initial: " + labels[nfa.initial],
+        "accepting: " + " ".join(sorted(labels[state] for state in nfa.accepting)),
     ]
+    mentioned = {nfa.initial} | set(nfa.accepting)
+    for source, _symbol, target in nfa.transitions:
+        mentioned.add(source)
+        mentioned.add(target)
+    isolated = sorted(labels[state] for state in nfa.states - mentioned)
+    if isolated:
+        lines.append("states: " + " ".join(isolated))
     for source, symbol, target in sorted(
-        (str(s), a, str(t)) for s, a, t in nfa.transitions
+        (labels[s], a, labels[t]) for s, a, t in nfa.transitions
     ):
         lines.append(f"{source} {symbol} {target}")
     return "\n".join(lines) + "\n"

@@ -188,7 +188,9 @@ def _estimator_options(default_epsilon: float) -> argparse.ArgumentParser:
         "--backend",
         choices=sorted(available_backends()),
         default=DEFAULT_BACKEND,
-        help="NFA simulation engine (bitset is fastest; reference is the frozenset baseline)",
+        help="NFA simulation engine (bitset for up to a few hundred states, "
+        "numpy for larger automata, auto to pick by size; reference is the "
+        "frozenset baseline)",
     )
     shared.add_argument(
         "--no-engine-cache",

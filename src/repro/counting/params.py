@@ -163,10 +163,13 @@ class FPRASParameters:
 
     ``backend`` selects the NFA simulation engine every hot loop runs on
     (see :mod:`repro.automata.engine`): ``"bitset"`` (the default) packs
-    state sets into integer masks, ``"reference"`` keeps the frozenset
-    semantics; ``None`` is normalised to the default backend.  Both
-    backends are observationally identical under a shared seed — the
-    parity test suite enforces it — so the choice only affects speed.
+    state sets into integer masks, ``"numpy"`` uses the vectorised block
+    representation built for automata with hundreds of states,
+    ``"reference"`` keeps the frozenset semantics, and ``"auto"`` picks
+    bitset vs numpy from the automaton size; ``None`` is normalised to the
+    default backend.  All backends are observationally identical under a
+    shared seed — the three-way parity suite enforces it — so the choice
+    only affects speed.
 
     ``use_engine_cache`` controls whether the run acquires its engine from
     the shared :class:`~repro.automata.engine.EngineRegistry` (the default;

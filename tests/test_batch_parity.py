@@ -42,6 +42,9 @@ from repro.counting.union import SetAccess, approximate_union
 
 BATCH_SWEEP_SEEDS = range(30)
 
+#: The non-reference backends under differential test against the reference.
+FAST_BACKENDS = ("bitset", "numpy")
+
 
 def _random_instance(seed: int) -> NFA:
     rng = random.Random(seed)
@@ -68,41 +71,44 @@ def _word_multiset(nfa: NFA, seed: int, count: int = 40, max_length: int = 10):
 
 
 class TestSimulateBatchParity:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("seed", BATCH_SWEEP_SEEDS)
-    def test_batch_matches_per_word_and_backends_agree(self, seed):
+    def test_batch_matches_per_word_and_backends_agree(self, seed, backend):
         nfa = _random_instance(seed)
         words = _word_multiset(nfa, seed)
         reference = create_engine(nfa, "reference")
-        bitset = create_engine(nfa, "bitset")
+        fast = create_engine(nfa, backend)
         handles_ref = reference.simulate_batch(words)
-        handles_bit = bitset.simulate_batch(words)
-        for word, handle_ref, handle_bit in zip(words, handles_ref, handles_bit):
+        handles_fast = fast.simulate_batch(words)
+        for word, handle_ref, handle_fast in zip(words, handles_ref, handles_fast):
             expected = reference.decode(reference.simulate(word))
             assert reference.decode(handle_ref) == expected, word
-            assert bitset.decode(handle_bit) == expected, word
-            assert bitset.decode(bitset.simulate(word)) == expected, word
+            assert fast.decode(handle_fast) == expected, word
+            assert fast.decode(fast.simulate(word)) == expected, word
 
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("seed", range(0, 12))
-    def test_batch_work_counters_backend_identical(self, seed):
+    def test_batch_work_counters_backend_identical(self, seed, backend):
         nfa = _random_instance(seed)
         words = _word_multiset(nfa, seed)
         reference = create_engine(nfa, "reference")
-        bitset = create_engine(nfa, "bitset")
+        fast = create_engine(nfa, backend)
         reference.simulate_batch(words)
-        bitset.simulate_batch(words)
-        assert reference.step_ops == bitset.step_ops
-        assert reference.batch_calls == bitset.batch_calls == 1
-        assert reference.batch_words == bitset.batch_words == len(words)
-        assert reference.batch_steps_saved == bitset.batch_steps_saved
+        fast.simulate_batch(words)
+        assert reference.step_ops == fast.step_ops
+        assert reference.batch_calls == fast.batch_calls == 1
+        assert reference.batch_words == fast.batch_words == len(words)
+        assert reference.batch_steps_saved == fast.batch_steps_saved
 
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("seed", range(0, 12))
-    def test_batch_saves_work_relative_to_per_word(self, seed):
+    def test_batch_saves_work_relative_to_per_word(self, seed, backend):
         """The trie walk never steps more than per-word simulation would."""
         nfa = _random_instance(seed)
         words = _word_multiset(nfa, seed)
-        batched = create_engine(nfa, "bitset")
+        batched = create_engine(nfa, backend)
         batched.simulate_batch(words)
-        scalar = create_engine(nfa, "bitset")
+        scalar = create_engine(nfa, backend)
         for word in words:
             scalar.simulate(word)
         assert batched.step_ops + batched.batch_steps_saved == scalar.step_ops
@@ -150,6 +156,7 @@ class TestMembershipBatchParity:
             assert batched == scalar, backend
             per_backend[backend] = batched
         assert per_backend["bitset"] == per_backend["reference"]
+        assert per_backend["numpy"] == per_backend["reference"]
 
     def test_upto_forms(self):
         nfa = families.substring_nfa("101")
@@ -260,25 +267,27 @@ class TestUnionBatchEquivalence:
                 use_engine_cache=False,
             )
             results[backend] = NFACounter(nfa, 5, parameters).run()
-        reference, bitset = results["reference"], results["bitset"]
-        assert bitset.estimate == reference.estimate
-        assert bitset.membership_calls == reference.membership_calls
-        assert bitset.state_estimates == reference.state_estimates
-        counters_ref = reference.engine_counters
-        counters_bit = bitset.engine_counters
-        for key in (
-            "step_ops",
-            "pre_ops",
-            "batch_calls",
-            "batch_words",
-            "batch_steps_saved",
-            "cache_lookups",
-            "cache_batch_lookups",
-            "cache_batch_words",
-            "cache_batch_hits",
-            "simulated_steps",
-        ):
-            assert counters_bit[key] == counters_ref[key], key
+        reference = results["reference"]
+        for backend in FAST_BACKENDS:
+            fast = results[backend]
+            assert fast.estimate == reference.estimate, backend
+            assert fast.membership_calls == reference.membership_calls, backend
+            assert fast.state_estimates == reference.state_estimates, backend
+            counters_ref = reference.engine_counters
+            counters_fast = fast.engine_counters
+            for key in (
+                "step_ops",
+                "pre_ops",
+                "batch_calls",
+                "batch_words",
+                "batch_steps_saved",
+                "cache_lookups",
+                "cache_batch_lookups",
+                "cache_batch_words",
+                "cache_batch_hits",
+                "simulated_steps",
+            ):
+                assert counters_fast[key] == counters_ref[key], (backend, key)
 
 
 class TestEngineRegistry:

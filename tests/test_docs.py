@@ -22,6 +22,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCTEST_MODULES = [
     "repro.automata.engine",
     "repro.automata.bitset",
+    "repro.automata.block",
     "repro.counting.params",
     "repro.counting.union",
     "repro.counting.fpras",
@@ -87,10 +88,13 @@ def test_docs_subsystem_exists_and_is_linked():
         "membership_batch",
         "--no-engine-cache",
         "engine_counters",
+        "BlockEngine",
+        "AUTO_BLOCK_THRESHOLD",
+        "nfa_to_text",
     ):
         assert symbol in api_text, f"docs/api.md must document {symbol}"
     architecture_text = architecture.read_text(encoding="utf-8")
-    for term in ("batch", "registry", "unroll"):
+    for term in ("batch", "registry", "unroll", "block", "serialization"):
         assert term.lower() in architecture_text.lower(), (
             f"docs/architecture.md must discuss {term}"
         )

@@ -1,8 +1,9 @@
-"""Differential parity suite: bitset backend vs the frozenset reference.
+"""Differential parity suite: fast backends vs the frozenset reference.
 
-The bitset engine is only admissible because it is *observationally
-identical* to the reference semantics.  This suite pins that down at every
-layer:
+The bitset and numpy block engines are only admissible because they are
+*observationally identical* to the reference semantics.  This suite pins
+that down at every layer as a three-way differential matrix
+(``reference`` / ``bitset`` / ``numpy``):
 
 * engine level — ``accepts`` / ``step`` / ``pre`` / encode-decode round
   trips agree on ~200 seeded random NFAs plus the structured families;
@@ -10,8 +11,10 @@ layer:
   sets and witnesses agree;
 * algorithm level — a full FPRAS run with a shared seeded
   ``random.Random`` produces bit-identical estimates, per-state tables,
-  sample multisets, work counters and uniform-sampler draws on both
-  backends.
+  sample multisets, work counters and uniform-sampler draws on every
+  backend;
+* backend selection — the ``auto`` pseudo-backend resolves to a concrete
+  backend by automaton size and shares registry slots with it.
 
 Any divergence found here is a bug in one of the backends, not a tolerance
 issue: every assertion is exact.
@@ -25,7 +28,13 @@ import random
 import pytest
 
 from repro.automata import families
-from repro.automata.engine import available_backends, create_engine
+from repro.automata.engine import (
+    AUTO_BLOCK_THRESHOLD,
+    EngineRegistry,
+    available_backends,
+    create_engine,
+    resolve_backend,
+)
 from repro.automata.nfa import NFA
 from repro.automata.random_gen import random_nfa, random_nonempty_nfa
 from repro.automata.unroll import ReachabilityCache, UnrolledAutomaton
@@ -35,6 +44,9 @@ from repro.counting.uniform import UniformWordSampler
 
 #: Seeds for the random-NFA sweep (~200 automata overall; see the fixtures).
 RANDOM_SWEEP_SEEDS = range(160)
+
+#: The non-reference backends under differential test against the reference.
+FAST_BACKENDS = ("bitset", "numpy")
 
 FAMILY_INSTANCES = [
     ("all_words", families.all_words_nfa()),
@@ -81,14 +93,16 @@ def _probe_words(nfa: NFA, seed: int, count: int = 25, max_length: int = 9):
     return words
 
 
-def _engine_pair(nfa: NFA):
-    return create_engine(nfa, "reference"), create_engine(nfa, "bitset")
+def _engine_pair(nfa: NFA, backend: str = "bitset"):
+    return create_engine(nfa, "reference"), create_engine(nfa, backend)
 
 
 class TestEngineRegistry:
-    def test_both_backends_registered(self):
+    def test_all_backends_registered(self):
         assert "reference" in available_backends()
         assert "bitset" in available_backends()
+        assert "numpy" in available_backends()
+        assert "auto" in available_backends()
 
     def test_unknown_backend_rejected(self, substring_101_nfa):
         from repro.errors import ParameterError
@@ -98,25 +112,27 @@ class TestEngineRegistry:
 
 
 class TestEngineLevelParity:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("seed", RANDOM_SWEEP_SEEDS)
-    def test_random_nfa_simulation_parity(self, seed):
+    def test_random_nfa_simulation_parity(self, seed, backend):
         nfa = _random_instance(seed)
-        reference, bitset = _engine_pair(nfa)
+        reference, fast = _engine_pair(nfa, backend)
         # Structural handles decode identically.
-        assert bitset.decode(bitset.initial) == reference.decode(reference.initial)
-        assert bitset.decode(bitset.accepting) == reference.decode(
+        assert fast.decode(fast.initial) == reference.decode(reference.initial)
+        assert fast.decode(fast.accepting) == reference.decode(
             reference.accepting
         )
         for word in _probe_words(nfa, seed):
-            assert bitset.accepts(word) == reference.accepts(word), word
-            assert bitset.reachable_states(word) == reference.reachable_states(
+            assert fast.accepts(word) == reference.accepts(word), word
+            assert fast.reachable_states(word) == reference.reachable_states(
                 word
             ), word
 
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("seed", range(0, 40))
-    def test_random_nfa_step_and_pre_parity(self, seed):
+    def test_random_nfa_step_and_pre_parity(self, seed, backend):
         nfa = _random_instance(seed)
-        reference, bitset = _engine_pair(nfa)
+        reference, fast = _engine_pair(nfa, backend)
         rng = random.Random(seed + 10_000)
         states = sorted(nfa.states, key=repr)
         for _ in range(20):
@@ -124,31 +140,33 @@ class TestEngineLevelParity:
                 state for state in states if rng.random() < 0.4
             )
             handle_ref = reference.encode(subset)
-            handle_bit = bitset.encode(subset)
-            assert bitset.decode(handle_bit) == subset
-            assert reference.count(handle_ref) == bitset.count(handle_bit)
+            handle_fast = fast.encode(subset)
+            assert fast.decode(handle_fast) == subset
+            assert reference.count(handle_ref) == fast.count(handle_fast)
             for symbol in nfa.alphabet:
-                assert bitset.decode(
-                    bitset.step(handle_bit, symbol)
+                assert fast.decode(
+                    fast.step(handle_fast, symbol)
                 ) == reference.step(handle_ref, symbol)
-                assert bitset.decode(
-                    bitset.pre(handle_bit, symbol)
+                assert fast.decode(
+                    fast.pre(handle_fast, symbol)
                 ) == reference.pre(handle_ref, symbol)
-            assert bitset.decode(
-                bitset.step_all(handle_bit)
+            assert fast.decode(
+                fast.step_all(handle_fast)
             ) == reference.step_all(handle_ref)
 
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("name,nfa", FAMILY_INSTANCES)
-    def test_family_simulation_parity(self, name, nfa):
-        reference, bitset = _engine_pair(nfa)
+    def test_family_simulation_parity(self, name, nfa, backend):
+        reference, fast = _engine_pair(nfa, backend)
         for word in _probe_words(nfa, seed=len(name)):
-            assert bitset.accepts(word) == reference.accepts(word), (name, word)
-            assert bitset.reachable_states(word) == reference.reachable_states(word)
+            assert fast.accepts(word) == reference.accepts(word), (name, word)
+            assert fast.reachable_states(word) == reference.reachable_states(word)
 
-    def test_accepts_matches_nfa_accepts(self):
-        # The reference engine must agree with the NFA's own simulation too.
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_accepts_matches_nfa_accepts(self, backend):
+        # The fast engines must agree with the NFA's own simulation too.
         for name, nfa in FAMILY_INSTANCES[:6]:
-            engine = create_engine(nfa, "bitset")
+            engine = create_engine(nfa, backend)
             for word in _probe_words(nfa, seed=3):
                 assert engine.accepts(word) == nfa.accepts(word), (name, word)
 
@@ -186,12 +204,13 @@ class TestEngineLevelParity:
 
 
 class TestUnrollParity:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("seed", range(40, 80))
-    def test_live_states_and_predecessors_parity(self, seed):
+    def test_live_states_and_predecessors_parity(self, seed, backend):
         nfa = _random_instance(seed)
         length = 6
         unroll_ref = UnrolledAutomaton(nfa, length, backend="reference")
-        unroll_bit = UnrolledAutomaton(nfa, length, backend="bitset")
+        unroll_bit = UnrolledAutomaton(nfa, length, backend=backend)
         for level in range(length + 1):
             assert unroll_bit.live_states(level) == unroll_ref.live_states(level)
             for state in sorted(nfa.states, key=repr):
@@ -203,12 +222,13 @@ class TestUnrollParity:
                         state, symbol, level
                     ) == unroll_ref.predecessors(state, symbol, level)
 
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("seed", range(80, 100))
-    def test_predecessors_of_set_and_witness_parity(self, seed):
+    def test_predecessors_of_set_and_witness_parity(self, seed, backend):
         nfa = _random_instance(seed)
         length = 5
         unroll_ref = UnrolledAutomaton(nfa, length, backend="reference")
-        unroll_bit = UnrolledAutomaton(nfa, length, backend="bitset")
+        unroll_bit = UnrolledAutomaton(nfa, length, backend=backend)
         rng = random.Random(seed)
         states = sorted(nfa.states, key=repr)
         for level in range(length + 1):
@@ -222,9 +242,14 @@ class TestUnrollParity:
                     state, level
                 )
 
-    def test_reachability_cache_parity_and_counters(self, suffix_nfa_0110):
-        cache_ref = ReachabilityCache(suffix_nfa_0110, backend="reference")
-        cache_bit = ReachabilityCache(suffix_nfa_0110, backend="bitset")
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_reachability_cache_parity_and_counters(self, suffix_nfa_0110, backend):
+        cache_ref = ReachabilityCache(
+            suffix_nfa_0110, backend="reference", use_engine_cache=False
+        )
+        cache_bit = ReachabilityCache(
+            suffix_nfa_0110, backend=backend, use_engine_cache=False
+        )
         for word in ("", "0110", "01101", "0", "011", "0110110"):
             assert cache_bit.reachable(word) == cache_ref.reachable(word)
         # The prefix-sharing structure (and thus the amortisation accounting)
@@ -251,33 +276,35 @@ class TestAlgorithmParity:
     def test_fpras_runs_identical_across_backends(self, seed):
         nfa = random_nonempty_nfa(7, 6, density=0.35, seed=seed)
         counter_ref, result_ref = self._run_counter(nfa, 6, "reference", seed)
-        counter_bit, result_bit = self._run_counter(nfa, 6, "bitset", seed)
-        assert result_bit.estimate == result_ref.estimate
-        assert result_bit.state_estimates == result_ref.state_estimates
-        assert result_bit.sample_counts == result_ref.sample_counts
-        assert result_bit.union_calls == result_ref.union_calls
-        assert result_bit.membership_calls == result_ref.membership_calls
-        assert result_bit.sample_draws == result_ref.sample_draws
-        assert result_bit.sample_successes == result_ref.sample_successes
-        assert result_bit.padded_states == result_ref.padded_states
-        assert counter_bit.samples == counter_ref.samples
+        for backend in FAST_BACKENDS:
+            counter_fast, result_fast = self._run_counter(nfa, 6, backend, seed)
+            assert result_fast.estimate == result_ref.estimate
+            assert result_fast.state_estimates == result_ref.state_estimates
+            assert result_fast.sample_counts == result_ref.sample_counts
+            assert result_fast.union_calls == result_ref.union_calls
+            assert result_fast.membership_calls == result_ref.membership_calls
+            assert result_fast.sample_draws == result_ref.sample_draws
+            assert result_fast.sample_successes == result_ref.sample_successes
+            assert result_fast.padded_states == result_ref.padded_states
+            assert counter_fast.samples == counter_ref.samples
+            assert result_fast.backend == backend
         assert result_ref.backend == "reference"
-        assert result_bit.backend == "bitset"
 
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
     @pytest.mark.parametrize("name,nfa,length", [
         ("substring_101", families.substring_nfa("101"), 8),
         ("suffix_0110", families.suffix_nfa("0110"), 7),
         ("no_consecutive_ones", families.no_consecutive_ones_nfa(), 9),
     ])
-    def test_family_fpras_parity(self, name, nfa, length):
+    def test_family_fpras_parity(self, name, nfa, length, backend):
         _, result_ref = self._run_counter(nfa, length, "reference", seed=23)
-        _, result_bit = self._run_counter(nfa, length, "bitset", seed=23)
-        assert result_bit.estimate == result_ref.estimate, name
-        assert result_bit.membership_calls == result_ref.membership_calls, name
+        _, result_fast = self._run_counter(nfa, length, backend, seed=23)
+        assert result_fast.estimate == result_ref.estimate, name
+        assert result_fast.membership_calls == result_ref.membership_calls, name
 
     def test_uniform_sampler_draws_identical(self, fibonacci_nfa):
         draws = {}
-        for backend in ("reference", "bitset"):
+        for backend in ("reference", *FAST_BACKENDS):
             parameters = FPRASParameters(
                 epsilon=0.4, delta=0.2, seed=31, backend=backend
             )
@@ -285,19 +312,126 @@ class TestAlgorithmParity:
             sampler = UniformWordSampler(counter, rng=random.Random(99))
             draws[backend] = sampler.sample_many(25)
         assert draws["bitset"] == draws["reference"]
+        assert draws["numpy"] == draws["reference"]
 
-    def test_montecarlo_and_bruteforce_backend_agreement(self):
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_montecarlo_and_bruteforce_backend_agreement(self, backend):
         from repro.counting.bruteforce import count_bruteforce
         from repro.counting.montecarlo import count_montecarlo
 
         for seed in range(112, 118):
             nfa = _random_instance(seed)
-            assert count_bruteforce(nfa, 7, backend="bitset") == count_bruteforce(
+            assert count_bruteforce(nfa, 7, backend=backend) == count_bruteforce(
                 nfa, 7, backend="reference"
             )
-            mc_bit = count_montecarlo(nfa, 7, num_samples=400, seed=5, backend="bitset")
+            mc_fast = count_montecarlo(nfa, 7, num_samples=400, seed=5, backend=backend)
             mc_ref = count_montecarlo(
                 nfa, 7, num_samples=400, seed=5, backend="reference"
             )
-            assert mc_bit.estimate == mc_ref.estimate
-            assert mc_bit.hits == mc_ref.hits
+            assert mc_fast.estimate == mc_ref.estimate
+            assert mc_fast.hits == mc_ref.hits
+
+
+class TestDegenerateAutomataParity:
+    """Three-backend parity on the empty-language and single-state automata."""
+
+    EMPTY_LANGUAGE = NFA(
+        states=frozenset({"a", "b"}),
+        initial="a",
+        transitions=frozenset({("a", "0", "a"), ("a", "1", "a")}),
+        accepting=frozenset({"b"}),  # unreachable: L(A) is empty
+    )
+    SINGLE_STATE = NFA(
+        states=frozenset({"only"}),
+        initial="only",
+        transitions=frozenset({("only", "0", "only")}),
+        accepting=frozenset({"only"}),
+    )
+    SINGLE_STATE_NO_LOOP = NFA(
+        states=frozenset({"only"}),
+        initial="only",
+        transitions=frozenset(),
+        accepting=frozenset({"only"}),
+    )
+
+    @pytest.mark.parametrize(
+        "nfa",
+        [EMPTY_LANGUAGE, SINGLE_STATE, SINGLE_STATE_NO_LOOP],
+        ids=["empty_language", "single_state", "single_state_no_loop"],
+    )
+    def test_simulation_parity(self, nfa):
+        words = ["", "0", "1", "00", "01", "0110", "000000"]
+        for backend in FAST_BACKENDS:
+            reference = create_engine(nfa, "reference")
+            fast = create_engine(nfa, backend)
+            for word in words:
+                assert fast.accepts(word) == reference.accepts(word), (backend, word)
+                assert fast.reachable_states(word) == reference.reachable_states(
+                    word
+                ), (backend, word)
+            assert fast.accepts_batch(words) == reference.accepts_batch(words)
+            assert fast.counters()["step_ops"] == reference.counters()["step_ops"]
+
+    @pytest.mark.parametrize(
+        "nfa",
+        [EMPTY_LANGUAGE, SINGLE_STATE, SINGLE_STATE_NO_LOOP],
+        ids=["empty_language", "single_state", "single_state_no_loop"],
+    )
+    def test_fpras_estimates_identical(self, nfa):
+        results = {}
+        for backend in ("reference", *FAST_BACKENDS):
+            parameters = FPRASParameters(
+                epsilon=0.4,
+                delta=0.2,
+                scale=ParameterScale.practical(sample_cap=6, union_trial_cap=8),
+                seed=7,
+                backend=backend,
+                use_engine_cache=False,
+            )
+            results[backend] = NFACounter(nfa, 5, parameters).run()
+        for backend in FAST_BACKENDS:
+            assert results[backend].estimate == results["reference"].estimate
+            assert (
+                results[backend].membership_calls
+                == results["reference"].membership_calls
+            )
+
+
+class TestAutoBackend:
+    def test_resolution_by_size(self):
+        small = families.substring_nfa("101")
+        assert resolve_backend(small, "auto") == "bitset"
+        assert resolve_backend(small, None) == "bitset"
+        assert resolve_backend(small, "numpy") == "numpy"
+        big = random_nfa(AUTO_BLOCK_THRESHOLD + 1, density=0.02, seed=1)
+        assert resolve_backend(big, "auto") == "numpy"
+
+    def test_auto_engine_name_is_concrete(self):
+        small = families.substring_nfa("101")
+        assert create_engine(small, "auto").name == "bitset"
+        big = random_nfa(AUTO_BLOCK_THRESHOLD + 1, density=0.02, seed=2)
+        assert create_engine(big, "auto").name == "numpy"
+
+    def test_auto_shares_registry_slot_with_concrete_backend(self):
+        registry = EngineRegistry(max_entries=8)
+        small = families.substring_nfa("101")
+        assert registry.get(small, "auto") is registry.get(small, "bitset")
+        big = random_nfa(AUTO_BLOCK_THRESHOLD + 1, density=0.02, seed=3)
+        assert registry.get(big, "auto") is registry.get(big, "numpy")
+
+    def test_auto_fpras_matches_concrete_backend(self):
+        nfa = random_nonempty_nfa(7, 6, density=0.35, seed=5)
+        results = {}
+        for backend in ("auto", "bitset"):
+            parameters = FPRASParameters(
+                epsilon=0.4,
+                delta=0.2,
+                scale=ParameterScale.practical(sample_cap=6, union_trial_cap=8),
+                seed=11,
+                backend=backend,
+                use_engine_cache=False,
+            )
+            results[backend] = NFACounter(nfa, 6, parameters).run()
+        assert results["auto"].estimate == results["bitset"].estimate
+        # The report names the concrete backend the run actually used.
+        assert results["auto"].backend == "bitset"

@@ -1,14 +1,25 @@
-"""Tests for automaton serialization (JSON, text and DOT formats)."""
+"""Tests for automaton serialization (JSON, text and DOT formats).
+
+Besides the format-level unit tests, this module carries a property-based
+round-trip suite over every :mod:`repro.workloads.generator` automaton:
+both formats must reproduce the automaton *structurally* (states —
+including isolated ones — initial, accepting, transitions, alphabet), and
+labels the text format cannot represent must raise a clear
+:class:`~repro.errors.AutomatonError` instead of corrupting silently.
+"""
 
 from __future__ import annotations
 
 import io
 import json
+import random
 
 import pytest
 
 from repro.automata import families
 from repro.automata.exact import count_exact
+from repro.automata.nfa import NFA
+from repro.automata.random_gen import random_nfa
 from repro.automata.serialization import (
     JSON_FORMAT_VERSION,
     dump,
@@ -22,6 +33,7 @@ from repro.automata.serialization import (
     nfa_to_text,
 )
 from repro.errors import AutomatonError
+from repro.workloads import generator
 
 
 @pytest.fixture(
@@ -148,3 +160,175 @@ class TestDot:
         nfa = families.substring_nfa("01")
         dot = nfa_to_dot(nfa, name='quo"ted')
         assert '\\"' in dot
+
+
+def _generator_workloads():
+    """Every string-labelled workload the generator suites produce."""
+    workloads = []
+    workloads.extend(generator.accuracy_suite(length=6))
+    workloads.extend(generator.scaling_suite_length(lengths=(4, 6), num_states=6))
+    workloads.extend(generator.scaling_suite_states(state_counts=(4, 8, 12)))
+    workloads.extend(generator.scaling_suite_epsilon(epsilons=(0.5, 0.3)))
+    return [(workload.name, workload.nfa) for workload in workloads]
+
+
+def _with_isolated_states(nfa: NFA, count: int) -> NFA:
+    """A copy of ``nfa`` with ``count`` extra states touching no transition."""
+    extra = frozenset(f"isolated_{index}" for index in range(count))
+    return NFA(
+        states=nfa.states | extra,
+        initial=nfa.initial,
+        transitions=nfa.transitions,
+        accepting=nfa.accepting,
+        alphabet=nfa.alphabet,
+    )
+
+
+def _assert_structurally_equal(rebuilt: NFA, original: NFA) -> None:
+    assert rebuilt.states == original.states
+    assert rebuilt.initial == original.initial
+    assert rebuilt.accepting == original.accepting
+    assert rebuilt.transitions == original.transitions
+    assert tuple(rebuilt.alphabet) == tuple(original.alphabet)
+
+
+class TestGeneratorRoundTrip:
+    """Property-based round trips over workloads.generator automata."""
+
+    @pytest.mark.parametrize("name,nfa", _generator_workloads())
+    def test_json_round_trip_is_lossless(self, name, nfa):
+        _assert_structurally_equal(nfa_from_dict(nfa_to_dict(nfa)), nfa)
+        _assert_structurally_equal(loads(dumps(nfa)), nfa)
+
+    @pytest.mark.parametrize("name,nfa", _generator_workloads())
+    def test_text_round_trip_is_lossless(self, name, nfa):
+        _assert_structurally_equal(nfa_from_text(nfa_to_text(nfa)), nfa)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_round_trip_with_isolated_states(self, seed):
+        rng = random.Random(seed)
+        base = random_nfa(
+            rng.randrange(1, 10),
+            density=rng.choice([0.15, 0.3]),
+            seed=seed,
+            ensure_connected=False,
+        )
+        nfa = _with_isolated_states(base, count=1 + seed % 3)
+        _assert_structurally_equal(nfa_from_text(nfa_to_text(nfa)), nfa)
+        _assert_structurally_equal(loads(dumps(nfa)), nfa)
+
+    def test_isolated_states_emit_states_line(self):
+        nfa = _with_isolated_states(families.substring_nfa("101"), count=2)
+        text = nfa_to_text(nfa)
+        assert "states:" in text
+        assert "isolated_0" in text and "isolated_1" in text
+        # Automata without isolated states keep the minimal layout.
+        assert "states:" not in nfa_to_text(families.substring_nfa("101"))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_language_preserved(self, seed):
+        nfa = random_nfa(6, density=0.3, seed=seed)
+        for rebuilt in (nfa_from_text(nfa_to_text(nfa)), loads(dumps(nfa))):
+            for length in range(5):
+                assert count_exact(rebuilt, length) == count_exact(nfa, length)
+
+
+class TestUnserialisableLabels:
+    def _nfa_with_state(self, state) -> NFA:
+        return NFA(
+            states=frozenset({state, "ok"}),
+            initial="ok",
+            transitions=frozenset({("ok", "0", state)}),
+            accepting=frozenset({"ok"}),
+        )
+
+    @pytest.mark.parametrize(
+        "state", ["has space", "has\ttab", "has\nnewline", "", "#comment", "colon:y"]
+    )
+    def test_text_rejects_unrepresentable_state_labels(self, state):
+        with pytest.raises(AutomatonError) as excinfo:
+            nfa_to_text(self._nfa_with_state(state))
+        assert "JSON" in str(excinfo.value)
+
+    def test_json_accepts_labels_the_text_format_rejects(self):
+        nfa = self._nfa_with_state("has space")
+        _assert_structurally_equal(loads(dumps(nfa)), nfa)
+
+    def test_text_rejects_whitespace_symbols(self):
+        nfa = NFA(
+            states=frozenset({"a"}),
+            initial="a",
+            transitions=frozenset({("a", "b c", "a")}),
+            accepting=frozenset({"a"}),
+            alphabet=("b c",),
+        )
+        with pytest.raises(AutomatonError):
+            nfa_to_text(nfa)
+
+    def test_colliding_stringified_states_rejected_everywhere(self):
+        nfa = NFA(
+            states=frozenset({1, "1"}),
+            initial=1,
+            transitions=frozenset({(1, "0", "1")}),
+            accepting=frozenset({"1"}),
+        )
+        with pytest.raises(AutomatonError):
+            nfa_to_text(nfa)
+        with pytest.raises(AutomatonError):
+            nfa_to_dict(nfa)
+
+    def test_none_state_collision_rejected(self):
+        # A literal None state is hashable and valid; it must still collide
+        # with the string "None" regardless of set iteration order.
+        nfa = NFA(
+            states=frozenset({None, "None"}),
+            initial="None",
+            transitions=frozenset({("None", "0", None)}),
+            accepting=frozenset({"None"}),
+        )
+        with pytest.raises(AutomatonError):
+            nfa_to_dict(nfa)
+        with pytest.raises(AutomatonError):
+            nfa_to_text(nfa)
+
+    def test_non_string_alphabet_rejected_instead_of_corrupting(self):
+        nfa = NFA(
+            states=frozenset({"a"}),
+            initial="a",
+            transitions=frozenset(),
+            accepting=frozenset({"a"}),
+            alphabet=(0, 1),
+        )
+        with pytest.raises(AutomatonError) as excinfo:
+            nfa_to_dict(nfa)
+        assert "string" in str(excinfo.value)
+        with pytest.raises(AutomatonError):
+            dumps(nfa)
+        with pytest.raises(AutomatonError):
+            nfa_to_text(nfa)
+
+    def test_non_string_state_labels_round_trip_as_strings(self):
+        # Documented coercion: integer states come back with string labels,
+        # the language over the (string) alphabet is unchanged.
+        nfa = NFA(
+            states=frozenset({1, 2}),
+            initial=1,
+            transitions=frozenset({(1, "0", 2), (2, "1", 2)}),
+            accepting=frozenset({2}),
+        )
+        rebuilt = loads(dumps(nfa))
+        assert rebuilt.states == {"1", "2"}
+        for length in range(5):
+            assert count_exact(rebuilt, length) == count_exact(nfa, length)
+
+    def test_application_suite_tuple_states(self):
+        # RPQ product automata have tuple states: unrepresentable in the
+        # text format (clear error), fine in JSON via stringification.
+        workloads = list(generator.application_suite())
+        assert workloads
+        nfa = workloads[0].nfa
+        with pytest.raises(AutomatonError):
+            nfa_to_text(nfa)
+        rebuilt = loads(dumps(nfa))
+        for length in range(4):
+            assert count_exact(rebuilt, length) == count_exact(nfa, length)
