@@ -9,7 +9,6 @@ and error, and asserts that the paper-formula sample requirement grows like
 
 from __future__ import annotations
 
-import math
 
 from repro.harness.experiments import run_scaling_epsilon
 from repro.harness.reporting import format_table

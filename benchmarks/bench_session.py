@@ -49,9 +49,15 @@ def _overhead_comparison():
     session = CountingSession(epsilon=EPSILON, seed=SEED)
 
     paths = [
-        ("count_nfa (legacy shim)", lambda: count_nfa(nfa, LENGTH, epsilon=EPSILON, seed=SEED)),
+        (
+            "count_nfa (legacy shim)",
+            lambda: count_nfa(nfa, LENGTH, epsilon=EPSILON, seed=SEED),
+        ),
         ("CountingSession.count", lambda: session.count(nfa, LENGTH)),
-        ("repro.count one-shot", lambda: count(nfa, LENGTH, method="fpras", epsilon=EPSILON, seed=SEED)),
+        (
+            "repro.count one-shot",
+            lambda: count(nfa, LENGTH, method="fpras", epsilon=EPSILON, seed=SEED),
+        ),
     ]
     timings = {name: [] for name, _fn in paths}
     for _round in range(ROUNDS):

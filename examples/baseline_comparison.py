@@ -53,7 +53,9 @@ def compare_on(name, nfa):
             "rel_error": round(acjr.relative_error(exact), 4),
             "seconds": round(acjr.elapsed_seconds, 3),
             "samples/state (scaled)": acjr.details["ns"],
-            "samples/state (paper formula)": f"{acjr_samples_per_state(nfa.num_states, LENGTH, EPSILON):.2e}",
+            "samples/state (paper formula)": (
+                f"{acjr_samples_per_state(nfa.num_states, LENGTH, EPSILON):.2e}"
+            ),
         }
     )
 

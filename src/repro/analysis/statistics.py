@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple
 
 
 @dataclass(frozen=True)

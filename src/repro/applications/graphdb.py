@@ -27,7 +27,7 @@ Two counting semantics are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.automata.nfa import NFA, State, Symbol, Transition, Word
 from repro.automata.regex import compile_regex

@@ -14,7 +14,7 @@ feeds straight into the FPRAS.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.automata.nfa import NFA, State, Symbol, Transition
 from repro.errors import AutomatonError
@@ -128,7 +128,10 @@ def concatenation(left: NFA, right: NFA) -> NFA:
         accepting.update(left_tagged.accepting)
     states = set(left_tagged.states) | set(right_tagged.states)
     initial = left_tagged.initial
-    if left_tagged.initial in left_tagged.accepting and right_tagged.initial in right_tagged.accepting:
+    if (
+        left_tagged.initial in left_tagged.accepting
+        and right_tagged.initial in right_tagged.accepting
+    ):
         accepting.add(initial)
     result = NFA(
         states=frozenset(states),

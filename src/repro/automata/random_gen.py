@@ -13,7 +13,7 @@ instance so experiments are reproducible.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Set, Tuple, Union
+from typing import List, Sequence, Set, Tuple, Union
 
 from repro.automata.nfa import BINARY_ALPHABET, NFA, Symbol, Transition
 
@@ -145,7 +145,11 @@ def random_dfa(
     )
 
 
-def random_word(length: int, alphabet: Sequence[Symbol] = BINARY_ALPHABET, seed: RandomSource = None) -> Tuple[Symbol, ...]:
+def random_word(
+    length: int,
+    alphabet: Sequence[Symbol] = BINARY_ALPHABET,
+    seed: RandomSource = None,
+) -> Tuple[Symbol, ...]:
     """A uniformly random word of the given length."""
     rng = _rng(seed)
     return tuple(rng.choice(list(alphabet)) for _ in range(length))

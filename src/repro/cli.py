@@ -57,6 +57,7 @@ def _session_from_args(args: argparse.Namespace) -> CountingSession:
         seed=args.seed,
         backend=args.backend,
         use_engine_cache=not args.no_engine_cache,
+        workers=args.workers,
     )
 
 
@@ -70,6 +71,8 @@ def _method_options(args: argparse.Namespace) -> dict:
         options["limit"] = args.limit if args.limit > 0 else None
     if args.sample_cap is not None:
         options["sample_cap"] = args.sample_cap
+    if getattr(args, "shards", None) is not None:
+        options["shards"] = args.shards
     return options
 
 
@@ -87,6 +90,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
             print(format_table(rows, title=f"#NFA for {args.family}, n={args.length}"))
             return 0
     options = _method_options(args)
+    if args.workers != 1:
+        # Explicit per-call override: asking for --workers with a method
+        # that has no worker support fails loudly instead of silently
+        # degrading (the session-pinned copy still degrades for the
+        # ground-truth `exact` run above).
+        options["workers"] = args.workers
     if args.method == "exact" and exact_report is not None and not options:
         # --compare --method exact: the ground truth already ran once.  Any
         # per-method option still goes through dispatch below so it is
@@ -107,6 +116,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
         "batched_membership_words": report.engine_counters.get("cache_batch_words", 0),
         "elapsed_seconds": report.elapsed_seconds,
     }
+    if args.workers != 1:
+        details["workers"] = report.details.get("workers", args.workers)
+        details["shards"] = report.details.get("shards", 1)
     if report.method == "fpras":
         details["samples_per_state (ns)"] = report.raw.ns
         details["sampling_attempts (xns)"] = report.raw.xns
@@ -123,6 +135,15 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
+    if args.workers != 1:
+        # The sampler's counting pass reuses the FPRAS N/S tables serially;
+        # fail loudly instead of silently ignoring the flag.
+        print(
+            "error: sample does not support --workers "
+            "(the sampler's counting pass is serial)",
+            file=sys.stderr,
+        )
+        return 2
     nfa = build_family(args.family, **_family_arguments(args.family_arg))
     sampler = _session_from_args(args).sampler(nfa, args.length)
     estimate = sampler.prepare()
@@ -142,7 +163,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_families(_args: argparse.Namespace) -> int:
-    rows = [{"family": name, "builder": fn.__name__} for name, fn in sorted(FAMILY_REGISTRY.items())]
+    rows = [
+        {"family": name, "builder": fn.__name__}
+        for name, fn in sorted(FAMILY_REGISTRY.items())
+    ]
     print(format_table(rows, title="available NFA families"))
     return 0
 
@@ -153,6 +177,7 @@ def _cmd_methods(_args: argparse.Namespace) -> int:
             "method": name,
             "summary": METHOD_REGISTRY[name].summary,
             "options": ", ".join(sorted(METHOD_REGISTRY[name].option_names)) or "-",
+            "parallel": "workers" if METHOD_REGISTRY[name].supports_workers else "-",
         }
         for name in available_methods()
     ]
@@ -199,6 +224,14 @@ def _estimator_options(default_epsilon: float) -> argparse.ArgumentParser:
         "(results are identical; use for isolated timing or debugging)",
     )
     shared.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the sharded parallel executor (fpras/montecarlo): "
+        "1 = serial (default), 0 = one per CPU; estimates are bit-identical "
+        "for every worker count",
+    )
+    shared.add_argument(
         "--family-arg", action="append", metavar="KEY=VALUE", help="family parameter"
     )
     return shared
@@ -242,6 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="acjr: per-(state, level) sample cap (default: 96)",
+    )
+    count.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="fpras: shard-plan size for parallel execution (default: 1 = the "
+        "serial plan; the plan, and hence the estimate, is independent of "
+        "--workers)",
     )
     count.add_argument("--exact", action="store_true", help="exact count only")
     count.add_argument(

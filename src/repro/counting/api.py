@@ -67,6 +67,7 @@ from repro.counting.acjr import ACJRCounter, ACJRParameters
 from repro.counting.bruteforce import DEFAULT_ENUMERATION_LIMIT, enumerate_count
 from repro.counting.fpras import FPRASParameters, NFACounter
 from repro.counting.montecarlo import run_montecarlo
+from repro.counting.parallel import validate_workers
 from repro.counting.params import ParameterScale
 from repro.errors import CountingMethodError, ParameterError
 
@@ -103,10 +104,20 @@ class CountRequest:
     use_engine_cache:
         Whether engines are acquired from the shared
         :class:`~repro.automata.engine.EngineRegistry`.
+    workers:
+        Process count for the sharded parallel executor
+        (:mod:`repro.counting.parallel`): ``1`` (the default) is the serial
+        path, ``0`` means one worker per CPU, and any other value runs the
+        method's shard plan over that many processes.  Only methods
+        registered with worker support (``fpras``, ``montecarlo``) accept
+        ``workers != 1``; estimates are bit-identical for every worker
+        count.  Invalid values and unsupported methods raise
+        :class:`~repro.errors.CountingMethodError`.
     options:
-        Per-method knobs, e.g. ``scale`` (fpras), ``sample_cap`` /
-        ``attempt_factor`` (acjr), ``num_samples`` (montecarlo), ``limit``
-        (bruteforce).  Unknown options are rejected at dispatch.
+        Per-method knobs, e.g. ``scale`` / ``shards`` (fpras),
+        ``sample_cap`` / ``attempt_factor`` (acjr), ``num_samples``
+        (montecarlo), ``limit`` (bruteforce).  Unknown options are rejected
+        at dispatch.
 
     >>> CountRequest(method="montecarlo", options={"num_samples": 64}).epsilon
     0.5
@@ -122,6 +133,7 @@ class CountRequest:
     seed: SeedLike = None
     backend: Optional[str] = None
     use_engine_cache: bool = True
+    workers: int = 1
     options: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -140,6 +152,7 @@ class CountRequest:
             )
         if not isinstance(self.use_engine_cache, bool):
             raise ParameterError("use_engine_cache must be a bool")
+        validate_workers(self.workers)
         try:
             options = dict(self.options)
         except (TypeError, ValueError):
@@ -257,6 +270,7 @@ class CounterMethod(Protocol):
     name: str
     summary: str
     option_names: FrozenSet[str]
+    supports_workers: bool
 
     def run(self, nfa: NFA, length: int, request: CountRequest) -> CountReport:
         """Execute the method for one instance and return its report."""
@@ -273,6 +287,7 @@ class RegisteredMethod:
     summary: str
     option_names: FrozenSet[str]
     runner: MethodRunner = field(repr=False)
+    supports_workers: bool = False
 
     def run(self, nfa: NFA, length: int, request: CountRequest) -> CountReport:
         """Delegate to the wrapped runner function."""
@@ -284,12 +299,20 @@ METHOD_REGISTRY: Dict[str, CounterMethod] = {}
 
 
 def register_method(
-    name: str, *, summary: str, options: Tuple[str, ...] = ()
+    name: str,
+    *,
+    summary: str,
+    options: Tuple[str, ...] = (),
+    supports_workers: bool = False,
 ) -> Callable[[MethodRunner], MethodRunner]:
     """Class/function decorator adding a counting method to the registry.
 
     ``options`` names the per-method knobs the method accepts through
     :attr:`CountRequest.options`; anything else is rejected at dispatch.
+    ``supports_workers`` declares that the runner honours
+    :attr:`CountRequest.workers` (i.e. it routes through the sharded
+    executor in :mod:`repro.counting.parallel`); dispatch rejects
+    ``workers != 1`` for methods that do not.
 
     >>> @register_method("fortytwo", summary="always 42")
     ... def _run(nfa, length, request):
@@ -303,7 +326,11 @@ def register_method(
         if name in METHOD_REGISTRY:
             raise CountingMethodError(f"counting method {name!r} is already registered")
         METHOD_REGISTRY[name] = RegisteredMethod(
-            name=name, summary=summary, option_names=frozenset(options), runner=runner
+            name=name,
+            summary=summary,
+            option_names=frozenset(options),
+            runner=runner,
+            supports_workers=supports_workers,
         )
         return runner
 
@@ -357,11 +384,34 @@ def _engine_counter_deltas(engine, base: Dict[str, int], from_cache: bool) -> Di
 
 
 @register_method(
-    "fpras", summary="the paper's FPRAS (Algorithm 3)", options=("scale",)
+    "fpras",
+    summary="the paper's FPRAS (Algorithm 3)",
+    options=("scale", "shards"),
+    supports_workers=True,
 )
 def _run_fpras(nfa: NFA, length: int, request: CountRequest) -> CountReport:
-    """Run :class:`NFACounter` and normalise its :class:`CountResult`."""
-    result = fpras_counter(nfa, length, request).run()
+    """Run :class:`NFACounter` and normalise its :class:`CountResult`.
+
+    ``workers != 1`` or ``shards > 1`` route through the sharded executor
+    (:func:`repro.counting.parallel.run_fpras_sharded`); a one-shard plan is
+    bit-identical to the serial run, and a fixed multi-shard plan is
+    bit-identical across worker counts.
+    """
+    shards = request.option("shards", 1)
+    if request.workers != 1 or shards != 1:
+        from repro.counting.parallel import run_fpras_sharded
+
+        result, parallel_details = run_fpras_sharded(
+            nfa,
+            length,
+            fpras_parameters(request),
+            shards=shards,
+            workers=request.workers,
+            seed=request.seed,
+        )
+    else:
+        result = fpras_counter(nfa, length, request).run()
+        parallel_details = {}
     return CountReport(
         estimate=result.estimate,
         method="fpras",
@@ -379,6 +429,7 @@ def _run_fpras(nfa: NFA, length: int, request: CountRequest) -> CountReport:
             "membership_calls": result.membership_calls,
             "sample_draws": result.sample_draws,
             "padded_states": result.padded_states,
+            **parallel_details,
         },
         raw=result,
     )
@@ -426,11 +477,50 @@ def _run_acjr(nfa: NFA, length: int, request: CountRequest) -> CountReport:
     "montecarlo",
     summary="naive Monte-Carlo sampling baseline",
     options=("num_samples",),
+    supports_workers=True,
 )
 def _run_montecarlo(nfa: NFA, length: int, request: CountRequest) -> CountReport:
-    """Acquire an engine, run the Monte-Carlo loop, report counter deltas."""
+    """Acquire an engine, run the Monte-Carlo loop, report counter deltas.
+
+    ``workers != 1`` routes through the sharded executor
+    (:func:`repro.counting.parallel.run_montecarlo_sharded`): the word
+    stream is drawn by the coordinator exactly as the serial loop draws it,
+    so the estimate is bit-identical to serial for every worker count.
+    """
     num_samples = request.option("num_samples", 10_000)
     rng = request.rng()
+    if request.workers != 1:
+        from repro.counting.parallel import run_montecarlo_sharded
+
+        started = time.perf_counter()
+        result, counters, parallel_details = run_montecarlo_sharded(
+            nfa,
+            length,
+            num_samples,
+            rng,
+            backend=request.backend,
+            use_engine_cache=request.use_engine_cache,
+            workers=request.workers,
+        )
+        elapsed = time.perf_counter() - started
+        backend_name = parallel_details.pop("backend")
+        return CountReport(
+            estimate=result.estimate,
+            method="montecarlo",
+            length=length,
+            num_states=nfa.num_states,
+            elapsed_seconds=elapsed,
+            backend=backend_name,
+            engine_counters=counters,
+            details={
+                "hits": result.hits,
+                "samples": result.samples,
+                "total_words": result.total_words,
+                "density_estimate": result.density_estimate,
+                **parallel_details,
+            },
+            raw=result,
+        )
     engine, from_cache = acquire_engine(
         nfa, request.backend, use_cache=request.use_engine_cache
     )
@@ -515,6 +605,17 @@ def dispatch(nfa: NFA, length: int, request: CountRequest) -> CountReport:
             f"method {request.method!r} does not accept option(s) {sorted(unknown)}; "
             f"accepted options: {accepted if accepted else 'none'}"
         )
+    if request.workers != 1 and not getattr(method, "supports_workers", False):
+        supported = sorted(
+            name
+            for name, entry in METHOD_REGISTRY.items()
+            if getattr(entry, "supports_workers", False)
+        )
+        raise CountingMethodError(
+            f"method {request.method!r} does not support sharded parallel "
+            f"execution (workers={request.workers}); methods with worker "
+            f"support: {supported}"
+        )
     return method.run(nfa, length, request)
 
 
@@ -528,12 +629,17 @@ def count(
     seed: SeedLike = None,
     backend: Optional[str] = None,
     use_engine_cache: bool = True,
+    workers: int = 1,
     **options: object,
 ) -> CountReport:
     """Count ``|L(A_length)|`` with any registered method (``repro.count``).
 
     Extra keyword arguments become per-method options (``scale``,
-    ``sample_cap``, ``num_samples``, ``limit``, …).
+    ``shards``, ``sample_cap``, ``num_samples``, ``limit``, …).
+    ``workers`` runs methods with worker support (``fpras``,
+    ``montecarlo``) through the sharded parallel executor — see
+    :mod:`repro.counting.parallel`; estimates are bit-identical for every
+    worker count.
 
     >>> from repro.automata.families import no_consecutive_ones_nfa
     >>> count(no_consecutive_ones_nfa(), 5, method="bruteforce").raw
@@ -551,6 +657,7 @@ available: ['acjr', 'bruteforce', 'exact', 'fpras', 'montecarlo']
         seed=seed,
         backend=backend,
         use_engine_cache=use_engine_cache,
+        workers=workers,
         options=options,
     )
     return dispatch(nfa, length, request)
@@ -589,6 +696,7 @@ class CountingSession:
         seed: SeedLike = None,
         backend: Optional[str] = None,
         use_engine_cache: bool = True,
+        workers: int = 1,
         **options: object,
     ) -> None:
         self._base = CountRequest(
@@ -598,6 +706,7 @@ class CountingSession:
             seed=seed,
             backend=backend,
             use_engine_cache=use_engine_cache,
+            workers=workers,
             options=options,
         )
         # Pinned options must be valid for the pinned method, so typos fail
@@ -634,12 +743,15 @@ class CountingSession:
 
         Session-level options that the target method does not accept are
         dropped (so a session pinned for fpras can still run ``exact``);
-        per-call overrides are kept verbatim and validated at dispatch.
+        the same applies to pinned ``workers`` when the target method has no
+        worker support.  Per-call overrides are kept verbatim and validated
+        at dispatch.
         """
         method_name = method if method is not None else self._base.method
-        accepted = resolve_method(method_name).option_names
+        entry = resolve_method(method_name)
+        accepted = entry.option_names
         core = {}
-        for knob in ("epsilon", "delta", "seed", "backend", "use_engine_cache"):
+        for knob in ("epsilon", "delta", "seed", "backend", "use_engine_cache", "workers"):
             if knob in overrides:
                 core[knob] = overrides.pop(knob)
         options = {
@@ -648,7 +760,14 @@ class CountingSession:
             if key in accepted
         }
         options.update(overrides)
-        return replace(self._base, method=method_name, options=options, **core)
+        request = replace(self._base, method=method_name, options=options, **core)
+        if (
+            request.workers != 1
+            and "workers" not in core
+            and not getattr(entry, "supports_workers", False)
+        ):
+            request = replace(request, workers=1)
+        return request
 
     def count(
         self, nfa: NFA, length: int, method: Optional[str] = None, **overrides: object
@@ -689,6 +808,7 @@ class CountingSession:
             "seed": self._base.seed,
             "backend": self._base.backend,
             "use_engine_cache": self._base.use_engine_cache,
+            "workers": self._base.workers,
             "options": dict(self._base.options),
             "calls": len(self._reports),
         }

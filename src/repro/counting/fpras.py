@@ -21,11 +21,10 @@ if the caller prefers the structural reduction).
 
 from __future__ import annotations
 
-import math
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.automata.nfa import NFA, State, Word
 from repro.automata.unroll import UnrolledAutomaton
@@ -166,15 +165,28 @@ class NFACounter:
     # ------------------------------------------------------------------
     # Main procedure
     # ------------------------------------------------------------------
+    def derived_parameters(self) -> Tuple[float, float, int, int]:
+        """The operational ``(beta, eta, ns, xns)`` tuple for this instance.
+
+        Pure functions of the constructor arguments; exposed so the sharded
+        executor (:mod:`repro.counting.parallel`) can process states with
+        exactly the values :meth:`run` would use.
+        """
+        n = self.length
+        m = self.nfa.num_states
+        return (
+            self.parameters.beta(n),
+            self.parameters.eta(n, m),
+            self.parameters.ns(n, m),
+            self.parameters.xns(n, m),
+        )
+
     def run(self) -> CountResult:
         """Execute Algorithm 3 and return the estimate with diagnostics."""
         start = time.perf_counter()
         n = self.length
         m = self.nfa.num_states
-        beta = self.parameters.beta(n)
-        eta = self.parameters.eta(n, m)
-        ns = self.parameters.ns(n, m)
-        xns = self.parameters.xns(n, m)
+        beta, eta, ns, xns = self.derived_parameters()
 
         self._initialise_level_zero(ns)
         for level in range(1, n + 1):
@@ -218,11 +230,24 @@ class NFACounter:
         self._sample_counts[(initial, 0)] = 1
 
     def _process_state(
-        self, state: State, level: int, beta: float, eta: float, ns: int, xns: int
+        self,
+        state: State,
+        level: int,
+        beta: float,
+        eta: float,
+        ns: int,
+        xns: int,
+        rng: Optional[random.Random] = None,
     ) -> None:
-        """Lines 12-30 for one (state, level) pair."""
-        estimate = self._estimate_state(state, level, beta, eta)
-        estimate = self._maybe_perturb(estimate, level, eta)
+        """Lines 12-30 for one (state, level) pair.
+
+        ``rng`` defaults to the instance stream; the sharded executor passes
+        an explicit per-shard substream instead, which is the only difference
+        between serial and sharded state processing.
+        """
+        rng = self.rng if rng is None else rng
+        estimate = self._estimate_state(state, level, beta, eta, rng)
+        estimate = self._maybe_perturb(estimate, level, eta, rng)
         if estimate <= 0.0:
             # The state is live, so |L(q^l)| >= 1; a zero estimate can only
             # come from an unlucky scaled-down AppUnion run.  Fall back to the
@@ -232,7 +257,7 @@ class NFACounter:
         self.estimates[(state, level)] = estimate
 
         drawer = SampleDraw(
-            self.unroll, self.estimates, self.samples, self.parameters, self.rng
+            self.unroll, self.estimates, self.samples, self.parameters, rng
         )
         gamma0 = self.parameters.gamma0(estimate)
         eta_sample = eta / max(1, 2 * xns)
@@ -258,9 +283,15 @@ class NFACounter:
         self.samples[(state, level)] = collected
 
     def _estimate_state(
-        self, state: State, level: int, beta: float, eta: float
+        self,
+        state: State,
+        level: int,
+        beta: float,
+        eta: float,
+        rng: Optional[random.Random] = None,
     ) -> float:
         """Lines 12-17: per-symbol AppUnion over predecessor languages, then sum."""
+        rng = self.rng if rng is None else rng
         n = self.length
         beta_prime = (1.0 + beta) ** (level - 1) - 1.0
         delta_union = eta / (2.0 * (1.0 - 2.0 ** -(n + 1)))
@@ -285,7 +316,7 @@ class NFACounter:
                 delta=delta_union,
                 size_slack=beta_prime,
                 parameters=self.parameters,
-                rng=self.rng,
+                rng=rng,
                 first_containing_batch=self.unroll.first_containing_batch(ordered),
             )
             self._union_calls += 1
@@ -293,14 +324,21 @@ class NFACounter:
             total += result.estimate
         return total
 
-    def _maybe_perturb(self, estimate: float, level: int, eta: float) -> float:
+    def _maybe_perturb(
+        self,
+        estimate: float,
+        level: int,
+        eta: float,
+        rng: Optional[random.Random] = None,
+    ) -> float:
         """Lines 16-19: the analysis-only random replacement of the estimate."""
+        rng = self.rng if rng is None else rng
         if not self.parameters.scale.faithful_perturbation:
             return estimate
         threshold = eta / max(1, 2 * self.length)
-        if self.rng.random() < threshold:
+        if rng.random() < threshold:
             ceiling = len(self.nfa.alphabet) ** level
-            return float(self.rng.randint(0, ceiling))
+            return float(rng.randint(0, ceiling))
         return estimate
 
     def _fallback_estimate(self, state: State, level: int) -> float:
@@ -311,13 +349,16 @@ class NFACounter:
                 best = max(best, self.estimates.get((predecessor, level - 1), 0.0))
         return max(1.0, best)
 
-    def _final_estimate(self, beta: float, eta: float) -> float:
+    def _final_estimate(
+        self, beta: float, eta: float, rng: Optional[random.Random] = None
+    ) -> float:
         """Line 31, generalised to any number of accepting states.
 
         With a single live accepting state this is exactly ``N(q_F^n)``;
         with several, the languages may overlap, so one more AppUnion over
         the final level's accepting states produces the union estimate.
         """
+        rng = self.rng if rng is None else rng
         accepting = sorted(self.unroll.accepting_live_states(), key=repr)
         if not accepting:
             return 0.0
@@ -339,7 +380,7 @@ class NFACounter:
             delta=eta / 2.0,
             size_slack=beta_prime,
             parameters=self.parameters,
-            rng=self.rng,
+            rng=rng,
             first_containing_batch=self.unroll.first_containing_batch(accepting),
         )
         self._union_calls += 1
@@ -356,6 +397,46 @@ class NFACounter:
         total.union_calls += stats.union_calls
         total.union_cache_hits += stats.union_cache_hits
         total.membership_calls += stats.membership_calls
+
+    # ------------------------------------------------------------------
+    # Sharded-execution hooks (see repro.counting.parallel)
+    # ------------------------------------------------------------------
+    def work_statistics(self) -> Dict[str, int]:
+        """Snapshot of the algorithm-level work counters accumulated so far.
+
+        The keys match the corresponding :class:`CountResult` fields.  The
+        sharded executor snapshots this before and after a shard task; the
+        difference is the task's deterministic work contribution, which is
+        identical no matter which worker process executes the task.
+        """
+        stats = self.sampler_statistics
+        return {
+            "union_calls": self._union_calls + stats.union_calls,
+            "membership_calls": self._membership_calls + stats.membership_calls,
+            "sample_draws": stats.draws,
+            "sample_successes": stats.successes,
+            "padded_states": self._padded_states,
+        }
+
+    def install_state(
+        self,
+        state: State,
+        level: int,
+        estimate: float,
+        samples: Sequence[Word],
+        drawn: int,
+    ) -> None:
+        """Install an externally computed ``(state, level)`` table entry.
+
+        Used by the sharded executor to merge per-shard results into the
+        coordinator's (and every worker's) ``N`` / ``S`` tables between
+        levels; values always come from :meth:`_process_state` runs, so the
+        tables end up exactly as a serial execution of the same shard plan
+        would leave them.
+        """
+        self.estimates[(state, level)] = estimate
+        self.samples[(state, level)] = list(samples)
+        self._sample_counts[(state, level)] = drawn
 
     # ------------------------------------------------------------------
     # Post-run accessors

@@ -1,0 +1,685 @@
+"""Sharded parallel execution of the trial-loop counting methods.
+
+The FPRAS and the Monte-Carlo baseline both spend their time in loops of
+independent trials — per-state AppUnion/sampling batches for the FPRAS,
+word-acceptance tests for Monte-Carlo — so both can be split across a
+:mod:`multiprocessing` process pool.  This module is that execution layer,
+surfaced through the ``workers`` knob on
+:class:`~repro.counting.api.CountRequest` /
+:class:`~repro.counting.api.CountingSession` / ``repro.count`` and the CLI's
+``--workers`` flag.
+
+Design invariants
+-----------------
+* **The shard plan never depends on the worker count.**  A plan is a pure
+  function of the workload and the request seed; ``workers`` only decides
+  how many processes execute it.  ``workers=1`` runs the plan serially
+  in-process, ``workers=k`` spreads it over ``min(k, shards)`` processes,
+  and the merged estimate is bit-identical either way.
+* **Deterministic per-shard RNG substreams.**  Every shard task derives its
+  own ``random.Random`` from the request seed with
+  :func:`derive_shard_seed` — a SHA-256 hash of ``(root, *path)``, stable
+  across processes and ``PYTHONHASHSEED`` values (``hash()`` is not).  The
+  derivation scheme and root are recorded in the report details.
+* **Workers rebuild state locally.**  The automaton crosses the process
+  boundary once per worker through the existing
+  :func:`~repro.automata.serialization.nfa_to_dict` /
+  :func:`~repro.automata.serialization.nfa_from_dict` round trip, and
+  engines are rebuilt worker-locally through
+  :func:`~repro.automata.engine.acquire_engine`; per-shard
+  ``engine_counters`` deltas are merged into the one
+  :class:`~repro.counting.api.CountReport`.
+
+Sharding the two methods
+------------------------
+**FPRAS** (``shards`` per-method option, default 1): the dynamic program is
+level-synchronous — states at level ``l`` depend only on the merged tables
+of levels ``< l`` — so the sorted live states of each level are dealt
+round-robin into ``shards`` groups, each processed with its own derived
+substream ``derive_shard_seed(root, "level", l, "shard", s)``.  After each
+level the coordinator merges the per-shard ``N`` / ``S`` entries (their key
+sets are disjoint) and broadcasts them to every worker; the final AppUnion
+over the accepting states runs in the coordinator on the
+``("final",)``-derived substream.  ``shards=1`` degenerates to the exact
+serial :class:`~repro.counting.fpras.NFACounter` run — bit-identical to not
+passing ``workers`` at all.  Because sharded runs execute on the
+serialisation round-trip of the automaton (so coordinator and workers agree
+on state labels), automata that :func:`nfa_to_dict` rejects cannot be
+sharded.
+
+**Monte-Carlo**: the coordinator draws every word from the request stream
+exactly as the serial loop would (drawing never depends on acceptance), so
+the words — and therefore the estimate — are bit-identical to serial
+execution for *any* worker count; workers only run
+:meth:`~repro.automata.engine.Engine.accepts_batch` over fixed-size chunks
+(:data:`MC_CHUNK_WORDS`, worker-count independent) and the accepted counts
+are summed.
+
+What is and is not invariant
+----------------------------
+Estimates, per-state tables and the algorithm-level work counters
+(``union_calls``, ``membership_calls``, ``sample_draws``, ``padded_states``)
+are bit-identical across worker counts for a fixed plan.  Mask-level engine
+counters (``step_ops``, ``simulated_steps``, ``cache_words``…) are *not*:
+each worker owns a private :class:`~repro.automata.unroll.ReachabilityCache`,
+so prefix sharing that a single serial cache would exploit across shards is
+repeated per worker.  That duplicated simulation work is the price of
+parallelism and is visible in the merged counters by design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import random
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.automata.engine import acquire_engine, resolve_backend
+from repro.automata.nfa import NFA
+from repro.automata.serialization import nfa_from_dict, nfa_to_dict
+from repro.counting.fpras import CountResult, FPRASParameters, NFACounter
+from repro.counting.montecarlo import MonteCarloEstimate
+from repro.errors import AutomatonError, CountingMethodError, ReproError
+
+#: Words per Monte-Carlo acceptance chunk.  Fixed (never derived from the
+#: worker count) so the merged batch counters are worker-count invariant.
+MC_CHUNK_WORDS = 2048
+
+#: Words per drawing block, mirroring the serial Monte-Carlo loop so the
+#: coordinator consumes the RNG stream in exactly the same call sequence.
+_MC_DRAW_BLOCK = 8192
+
+#: Name recorded in report details for the substream derivation scheme.
+SEED_DERIVATION_SCHEME = "sha256(root, *path)[:8]"
+
+
+# ----------------------------------------------------------------------
+# Knob validation and seed derivation
+# ----------------------------------------------------------------------
+def validate_workers(workers: object) -> int:
+    """Validate the ``workers`` knob without resolving ``0``.
+
+    Shared by :class:`~repro.counting.api.CountRequest` (which must keep the
+    literal ``0`` so the resolution happens at execution time) and
+    :func:`resolve_workers`.
+
+    >>> validate_workers(0), validate_workers(3)
+    (0, 3)
+    >>> validate_workers(-2)
+    Traceback (most recent call last):
+        ...
+    repro.errors.CountingMethodError: workers must be a non-negative integer \
+(0 = one per CPU), got -2
+    """
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers < 0:
+        raise CountingMethodError(
+            f"workers must be a non-negative integer (0 = one per CPU), "
+            f"got {workers!r}"
+        )
+    return workers
+
+
+def resolve_workers(workers: object) -> int:
+    """Validate the ``workers`` knob and resolve ``0`` to the CPU count.
+
+    >>> resolve_workers(1), resolve_workers(4)
+    (1, 4)
+    >>> resolve_workers(0) >= 1
+    True
+    """
+    workers = validate_workers(workers)
+    if workers == 0:
+        return multiprocessing.cpu_count()
+    return workers
+
+
+def validate_shards(shards: object) -> int:
+    """Validate the fpras ``shards`` option (a positive integer)."""
+    if isinstance(shards, bool) or not isinstance(shards, int) or shards < 1:
+        raise CountingMethodError(
+            f"shards must be a positive integer, got {shards!r}"
+        )
+    return shards
+
+
+def derive_shard_seed(root: int, *path: object) -> int:
+    """A deterministic 64-bit substream seed for one shard of a plan.
+
+    Hash-based (SHA-256 over the ``repr`` of the rooted path) rather than
+    ``hash()``-based so the derivation is stable across processes, Python
+    builds and ``PYTHONHASHSEED`` settings — a worker pool must agree with
+    the coordinator on every substream.
+
+    >>> derive_shard_seed(3, "level", 1, "shard", 0) == derive_shard_seed(
+    ...     3, "level", 1, "shard", 0)
+    True
+    >>> derive_shard_seed(3, "final") != derive_shard_seed(4, "final")
+    True
+    """
+    payload = repr((int(root),) + path).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def shard_root_seed(seed: object) -> int:
+    """The 64-bit root every shard substream of a run is derived from.
+
+    An ``int`` seed is its own root; a ``random.Random`` stream contributes
+    its next 64 bits (so continuing a shared stream stays deterministic);
+    ``None`` draws a fresh root from the global generator.
+    """
+    if isinstance(seed, bool):
+        raise CountingMethodError(f"seed must not be a bool, got {seed!r}")
+    if isinstance(seed, int):
+        return seed
+    if isinstance(seed, random.Random):
+        return seed.getrandbits(64)
+    if seed is None:
+        return random.Random().getrandbits(64)
+    raise CountingMethodError(
+        f"seed must be None, an int, or a random.Random, got {seed!r}"
+    )
+
+
+def _roundtrip_nfa(nfa: NFA) -> Tuple[NFA, Dict[str, object]]:
+    """The serialisation round trip sharded runs (and their workers) use.
+
+    Coordinator and workers must agree on state labels and on the ``repr``
+    ordering the algorithms sort by, so the coordinator runs on the same
+    round-tripped automaton it ships to the pool.
+    """
+    try:
+        document = nfa_to_dict(nfa)
+    except AutomatonError as error:
+        raise CountingMethodError(
+            f"sharded execution requires a serialisable automaton "
+            f"(nfa_to_dict failed: {error})"
+        ) from error
+    return nfa_from_dict(document), document
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _fork_context():
+    """``fork`` where available (Linux — no re-import cost), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_main(connection) -> None:
+    """Message loop run by every pool worker.
+
+    The worker owns either an :class:`NFACounter` (fpras mode: mutable
+    ``N`` / ``S`` tables synchronised by the coordinator between levels) or
+    a bare engine (montecarlo mode).  Every request is answered with
+    ``("ok", payload)`` or ``("error", traceback_text)``; the coordinator
+    re-raises the latter.
+    """
+    counter: Optional[NFACounter] = None
+    engine = None
+    try:
+        while True:
+            message = connection.recv()
+            kind = message[0]
+            try:
+                if kind == "init-fpras":
+                    document, length, parameters = message[1:]
+                    counter = NFACounter(
+                        nfa_from_dict(document), length, parameters
+                    )
+                    connection.send(("ok", None))
+                elif kind == "init-mc":
+                    document, backend, use_engine_cache = message[1:]
+                    engine, _ = acquire_engine(
+                        nfa_from_dict(document),
+                        backend,
+                        use_cache=use_engine_cache,
+                    )
+                    connection.send(("ok", None))
+                elif kind == "sync":
+                    for state, level, estimate, samples, drawn in message[1]:
+                        counter.install_state(state, level, estimate, samples, drawn)
+                    connection.send(("ok", None))
+                elif kind == "run-states":
+                    level, states, shard_seed = message[1:]
+                    connection.send(
+                        ("ok", _run_shard(counter, level, states, shard_seed))
+                    )
+                elif kind == "mc-chunk":
+                    words = message[1]
+                    base = dict(engine.counters())
+                    hits = int(sum(engine.accepts_batch(words)))
+                    delta = {
+                        key: value - base.get(key, 0)
+                        for key, value in engine.counters().items()
+                    }
+                    connection.send(("ok", {"hits": hits, "engine": delta}))
+                elif kind == "stop":
+                    break
+                else:  # pragma: no cover - protocol misuse is a programming error
+                    connection.send(("error", f"unknown message kind {kind!r}"))
+            except Exception:
+                connection.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - pool teardown
+        pass
+    finally:
+        connection.close()
+
+
+def _run_shard(
+    counter: NFACounter, level: int, states: Sequence[object], shard_seed: int
+) -> Dict[str, object]:
+    """Process one shard's states with its derived substream.
+
+    Runs in a pool worker *and* in-process for ``workers=1``; the result is
+    a pure function of (tables so far, shard states, shard seed), which is
+    what makes the merged run worker-count invariant.
+    """
+    rng = random.Random(shard_seed)
+    stats_before = counter.work_statistics()
+    engine_before = counter.unroll.engine_counters()
+    beta, eta, ns, xns = counter.derived_parameters()
+    entries = []
+    for state in states:
+        counter._process_state(state, level, beta, eta, ns, xns, rng=rng)
+        entries.append(
+            (
+                state,
+                level,
+                counter.estimates[(state, level)],
+                counter.samples[(state, level)],
+                counter._sample_counts[(state, level)],
+            )
+        )
+    stats_after = counter.work_statistics()
+    engine_after = counter.unroll.engine_counters()
+    return {
+        "entries": entries,
+        "stats": {
+            key: stats_after[key] - stats_before[key] for key in stats_after
+        },
+        "engine": {
+            key: engine_after.get(key, 0) - engine_before.get(key, 0)
+            for key in engine_after
+        },
+    }
+
+
+class _WorkerPool:
+    """A fixed set of worker processes driven over per-worker pipes.
+
+    Plain :class:`multiprocessing.Pool` cannot broadcast (the table syncs
+    must reach *every* worker, not whichever one picks up a task), so the
+    pool holds one duplex pipe per worker: requests are sent round-robin or
+    broadcast, and responses are collected per pipe in FIFO order.
+    """
+
+    def __init__(self, size: int, init_message: Tuple) -> None:
+        context = _fork_context()
+        self._connections = []
+        self._processes = []
+        try:
+            for _ in range(size):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_worker_main, args=(child_end,), daemon=True
+                )
+                process.start()
+                child_end.close()
+                self._connections.append(parent_end)
+                self._processes.append(process)
+            for connection in self._connections:
+                connection.send(init_message)
+            for connection in self._connections:
+                self._receive(connection)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def size(self) -> int:
+        return len(self._processes)
+
+    def _receive(self, connection):
+        status, payload = connection.recv()
+        if status == "error":
+            raise CountingMethodError(
+                f"sharded worker failed:\n{payload}"
+            )
+        return payload
+
+    def broadcast(self, message: Tuple) -> None:
+        """Send ``message`` to every worker and wait for all acknowledgements."""
+        for connection in self._connections:
+            connection.send(message)
+        for connection in self._connections:
+            self._receive(connection)
+
+    #: Maximum unanswered tasks per worker pipe.  Bounding the in-flight
+    #: window keeps at most this many unread results queued on any pipe, so
+    #: a long task list (thousands of Monte-Carlo chunks) can never fill an
+    #: OS pipe buffer in both directions and deadlock coordinator against
+    #: worker; results for the sharded methods are far smaller than a pipe
+    #: buffer divided by this bound.
+    WINDOW = 4
+
+    def run_tasks(self, messages: Sequence[Tuple]) -> List[object]:
+        """Round-robin ``messages`` over the pool; results in message order.
+
+        Tasks are pipelined at most :data:`WINDOW` deep per worker:
+        the coordinator drains each worker's oldest outstanding result
+        (per-pipe FIFO makes the pairing exact) before topping its queue
+        back up, so neither direction of a pipe accumulates unboundedly.
+        """
+        workers = len(self._connections)
+        queues: List[List[int]] = [
+            list(range(start, len(messages), workers)) for start in range(workers)
+        ]
+        results: List[object] = [None] * len(messages)
+        sent = [0] * workers
+        received = [0] * workers
+        for worker, queue in enumerate(queues):
+            while sent[worker] < min(self.WINDOW, len(queue)):
+                self._connections[worker].send(messages[queue[sent[worker]]])
+                sent[worker] += 1
+        outstanding = sum(sent)
+        while outstanding:
+            for worker, queue in enumerate(queues):
+                if received[worker] < sent[worker]:
+                    index = queue[received[worker]]
+                    results[index] = self._receive(self._connections[worker])
+                    received[worker] += 1
+                    outstanding -= 1
+                    if sent[worker] < len(queue):
+                        self._connections[worker].send(messages[queue[sent[worker]]])
+                        sent[worker] += 1
+                        outstanding += 1
+        return results
+
+    def close(self) -> None:
+        """Stop the workers, joining briefly and terminating stragglers."""
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive teardown
+                process.terminate()
+                process.join(timeout=5.0)
+        for connection in self._connections:
+            connection.close()
+        self._connections = []
+        self._processes = []
+
+    def __enter__(self) -> "_WorkerPool":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# FPRAS sharded execution
+# ----------------------------------------------------------------------
+def run_fpras_sharded(
+    nfa: NFA,
+    length: int,
+    parameters: FPRASParameters,
+    *,
+    shards: int,
+    workers: int,
+    seed: object,
+) -> Tuple[CountResult, Dict[str, object]]:
+    """Execute the FPRAS under a ``shards``-way plan with ``workers`` processes.
+
+    Returns the :class:`~repro.counting.fpras.CountResult` plus the extra
+    report details (``workers``, ``shards``, seed-derivation record).  The
+    result is bit-identical for every ``workers`` value, because the plan —
+    shard membership and every substream seed — depends only on
+    ``(seed, shards)`` and the workload.
+    """
+    shards = validate_shards(shards)
+    workers = resolve_workers(workers)
+    started = time.perf_counter()
+
+    if shards == 1:
+        # Degenerate plan: exactly the serial NFACounter run (one task, so a
+        # pool would only add IPC); bit-identical to the workers=1 default.
+        # An int seed builds the same stream NFACounter would derive from
+        # ``parameters.seed``, so direct callers who pass only ``seed`` are
+        # still deterministic.
+        if isinstance(seed, random.Random):
+            rng: Optional[random.Random] = seed
+        elif isinstance(seed, int) and not isinstance(seed, bool):
+            rng = random.Random(seed)
+        else:
+            rng = None
+        counter = NFACounter(nfa, length, parameters, rng=rng)
+        result = counter.run()
+        return result, {"workers": workers, "shards": 1}
+
+    root = shard_root_seed(seed)
+    nfa, document = _roundtrip_nfa(nfa)
+    coordinator = NFACounter(nfa, length, parameters)
+    beta, eta, ns, xns = coordinator.derived_parameters()
+    coordinator._initialise_level_zero(ns)
+
+    pool_size = min(workers, shards)
+    pool: Optional[_WorkerPool] = None
+    task_stats: Dict[str, int] = {}
+    task_engine: Dict[str, int] = {}
+    try:
+        if pool_size > 1:
+            pool = _WorkerPool(
+                pool_size, ("init-fpras", document, length, parameters)
+            )
+            initial = coordinator.nfa.initial
+            pool.broadcast(
+                (
+                    "sync",
+                    [
+                        (
+                            initial,
+                            0,
+                            coordinator.estimates[(initial, 0)],
+                            coordinator.samples[(initial, 0)],
+                            coordinator._sample_counts[(initial, 0)],
+                        )
+                    ],
+                )
+            )
+        for level in range(1, length + 1):
+            states = sorted(coordinator.unroll.live_states(level), key=repr)
+            groups = [
+                (shard, states[shard::shards])
+                for shard in range(shards)
+                if states[shard::shards]
+            ]
+            seeds = {
+                shard: derive_shard_seed(root, "level", level, "shard", shard)
+                for shard, _ in groups
+            }
+            if pool is None:
+                level_entries = []
+                for shard, group in groups:
+                    outcome = _run_shard(coordinator, level, group, seeds[shard])
+                    level_entries.extend(outcome["entries"])
+            else:
+                outcomes = pool.run_tasks(
+                    [
+                        ("run-states", level, group, seeds[shard])
+                        for shard, group in groups
+                    ]
+                )
+                level_entries = []
+                for outcome in outcomes:
+                    level_entries.extend(outcome["entries"])
+                    for key, value in outcome["stats"].items():
+                        task_stats[key] = task_stats.get(key, 0) + value
+                    for key, value in outcome["engine"].items():
+                        task_engine[key] = task_engine.get(key, 0) + value
+                for state, lvl, estimate, samples, drawn in level_entries:
+                    coordinator.install_state(state, lvl, estimate, samples, drawn)
+                pool.broadcast(("sync", level_entries))
+        final_rng = random.Random(derive_shard_seed(root, "final"))
+        estimate = coordinator._final_estimate(beta, eta, rng=final_rng)
+    finally:
+        if pool is not None:
+            pool.close()
+
+    stats = coordinator.work_statistics()
+    for key, value in task_stats.items():
+        stats[key] += value
+    engine_counters = coordinator.unroll.engine_counters()
+    for key, value in task_engine.items():
+        engine_counters[key] = engine_counters.get(key, 0) + value
+    result = CountResult(
+        estimate=estimate,
+        length=length,
+        num_states=nfa.num_states,
+        epsilon=parameters.epsilon,
+        delta=parameters.delta,
+        ns=ns,
+        xns=xns,
+        elapsed_seconds=time.perf_counter() - started,
+        union_calls=stats["union_calls"],
+        membership_calls=stats["membership_calls"],
+        sample_draws=stats["sample_draws"],
+        sample_successes=stats["sample_successes"],
+        padded_states=stats["padded_states"],
+        state_estimates=dict(coordinator.estimates),
+        sample_counts=dict(coordinator._sample_counts),
+        backend=coordinator.unroll.backend,
+        engine_counters=engine_counters,
+    )
+    details = {
+        "workers": workers,
+        "shards": shards,
+        "pool_processes": pool_size if pool_size > 1 else 0,
+        "shard_root_seed": root,
+        "seed_derivation": SEED_DERIVATION_SCHEME,
+    }
+    return result, details
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo sharded execution
+# ----------------------------------------------------------------------
+#: Words drawn per coordinator wave (a multiple of both the drawing block
+#: and the chunk size, so chunk boundaries are identical to chunking the
+#: whole stream at once).  Bounds coordinator memory at one wave of words
+#: regardless of ``num_samples`` — the parallel analogue of the serial
+#: loop's fixed-block drawing.
+MC_WAVE_WORDS = 32 * MC_CHUNK_WORDS
+
+
+def _draw_wave(
+    alphabet: Sequence[str],
+    length: int,
+    remaining: int,
+    rng: random.Random,
+) -> List[Tuple[str, ...]]:
+    """Draw the next wave of words, consuming the stream like the serial loop.
+
+    The serial loop draws in :data:`_MC_DRAW_BLOCK`-word blocks; drawing the
+    same per-symbol ``rng.choice`` sequence in differently grouped blocks
+    yields the identical words, so waves preserve bit-identity.
+    """
+    words: List[Tuple[str, ...]] = []
+    budget = min(remaining, MC_WAVE_WORDS)
+    while budget:
+        block = min(_MC_DRAW_BLOCK, budget)
+        words.extend(
+            tuple(rng.choice(alphabet) for _ in range(length))
+            for _ in range(block)
+        )
+        budget -= block
+    return words
+
+
+def run_montecarlo_sharded(
+    nfa: NFA,
+    length: int,
+    num_samples: int,
+    rng: random.Random,
+    *,
+    backend: Optional[str],
+    use_engine_cache: bool,
+    workers: int,
+) -> Tuple[MonteCarloEstimate, Dict[str, int], Dict[str, object]]:
+    """The Monte-Carlo trial loop over a worker pool.
+
+    The coordinator draws words in bounded waves (bit-identical stream to
+    the serial loop) and workers only answer acceptance over
+    :data:`MC_CHUNK_WORDS`-word chunks, so the estimate equals serial
+    Monte-Carlo for any worker count while peak memory stays at one wave
+    of words.  Returns ``(estimate, merged engine-counter deltas,
+    details)``.
+    """
+    if length < 0:
+        raise ReproError("length must be non-negative")
+    if num_samples <= 0:
+        raise ReproError("num_samples must be positive")
+    workers = resolve_workers(workers)
+    alphabet = list(nfa.alphabet)
+    total_words = len(alphabet) ** length
+    total_chunks = -(-num_samples // MC_CHUNK_WORDS)
+
+    pool_size = min(workers, total_chunks)
+    counters: Dict[str, int] = {}
+    hits = 0
+    if pool_size > 1:
+        roundtripped, document = _roundtrip_nfa(nfa)
+        backend_name = resolve_backend(roundtripped, backend)
+        with _WorkerPool(
+            pool_size, ("init-mc", document, backend, use_engine_cache)
+        ) as pool:
+            remaining = num_samples
+            while remaining:
+                wave = _draw_wave(alphabet, length, remaining, rng)
+                remaining -= len(wave)
+                outcomes = pool.run_tasks(
+                    [
+                        ("mc-chunk", wave[start : start + MC_CHUNK_WORDS])
+                        for start in range(0, len(wave), MC_CHUNK_WORDS)
+                    ]
+                )
+                for outcome in outcomes:
+                    hits += outcome["hits"]
+                    for key, value in outcome["engine"].items():
+                        counters[key] = counters.get(key, 0) + value
+        counters["engine_cache_hit"] = 0
+    else:
+        engine, from_cache = acquire_engine(nfa, backend, use_cache=use_engine_cache)
+        backend_name = engine.name
+        base = dict(engine.counters())
+        remaining = num_samples
+        while remaining:
+            wave = _draw_wave(alphabet, length, remaining, rng)
+            remaining -= len(wave)
+            for start in range(0, len(wave), MC_CHUNK_WORDS):
+                hits += int(sum(engine.accepts_batch(wave[start : start + MC_CHUNK_WORDS])))
+        counters = {
+            key: value - base.get(key, 0)
+            for key, value in engine.counters().items()
+        }
+        counters["engine_cache_hit"] = int(from_cache)
+
+    estimate = MonteCarloEstimate(
+        estimate=(hits / num_samples) * total_words,
+        hits=hits,
+        samples=num_samples,
+        total_words=total_words,
+    )
+    details = {
+        "workers": workers,
+        "pool_processes": pool_size if pool_size > 1 else 0,
+        "chunk_words": MC_CHUNK_WORDS,
+        "chunks": total_chunks,
+        "backend": backend_name,
+    }
+    return estimate, counters, details

@@ -20,7 +20,7 @@ estimating one union per alphabet symbol.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.automata.nfa import State, Symbol, Word

@@ -24,10 +24,9 @@ from repro.analysis.accuracy import evaluate_accuracy
 from repro.analysis.complexity import growth_exponent, samples_per_state_table
 from repro.analysis.statistics import uniformity_report
 from repro.automata import families
-from repro.automata.exact import count_exact, count_per_state_exact, enumerate_slice
+from repro.automata.exact import count_exact, enumerate_slice
 from repro.counting.api import CountRequest, count as unified_count
 from repro.counting.fpras import FPRASParameters
-from repro.counting.params import ParameterScale
 from repro.counting.uniform import UniformWordSampler
 from repro.errors import ExperimentError
 from repro.workloads.generator import (

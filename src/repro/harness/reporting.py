@@ -7,7 +7,7 @@ text tables (rows of dictionaries) and simple series — enough to read off
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 def _format_value(value: object, precision: int = 4) -> str:

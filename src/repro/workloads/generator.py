@@ -11,7 +11,7 @@ computable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence
 
 from repro.automata import families, random_gen
 from repro.automata.exact import count_exact

@@ -195,7 +195,9 @@ class TestAccuracyReports:
         assert report.relative_errors[1] == float("inf")
 
     def test_mean_estimate_interval(self):
-        report = AccuracyReport(name="x", length=3, exact=10, epsilon=0.3, estimates=[9.0, 10.0, 11.0])
+        report = AccuracyReport(
+            name="x", length=3, exact=10, epsilon=0.3, estimates=[9.0, 10.0, 11.0]
+        )
         mean, low, high = report.mean_estimate_interval()
         assert low <= mean <= high
 

@@ -33,7 +33,7 @@ from repro.automata.engine import (
     available_backends,
     create_engine,
 )
-from repro.automata.nfa import NFA, as_word
+from repro.automata.nfa import NFA
 from repro.automata.random_gen import random_nfa, random_nonempty_nfa
 from repro.automata.unroll import ReachabilityCache, UnrolledAutomaton
 from repro.counting.fpras import NFACounter, count_nfa

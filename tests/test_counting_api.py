@@ -21,7 +21,7 @@ import pytest
 
 import repro
 from repro.automata.exact import count_exact
-from repro.automata.families import no_consecutive_ones_nfa, parity_nfa, substring_nfa
+from repro.automata.families import no_consecutive_ones_nfa, substring_nfa
 from repro.cli import main
 from repro.counting.acjr import ACJRCounter, ACJRParameters, count_nfa_acjr
 from repro.counting.api import (

@@ -79,7 +79,11 @@ class TestDFABasics:
         )
         complete = dfa.completed()
         assert complete.num_states == 2
-        assert all((state, symbol) in complete.transitions for state in complete.states for symbol in complete.alphabet)
+        assert all(
+            (state, symbol) in complete.transitions
+            for state in complete.states
+            for symbol in complete.alphabet
+        )
 
     def test_completed_noop_when_already_complete(self, even_zeros_dfa):
         assert even_zeros_dfa.completed() is even_zeros_dfa

@@ -11,8 +11,7 @@ from repro.counting.diagnostics import (
     check_invariants,
     check_samples,
 )
-from repro.counting.fpras import FPRASParameters, NFACounter
-from repro.counting.params import ParameterScale
+from repro.counting.fpras import NFACounter
 from repro.errors import ParameterError
 
 

@@ -1,0 +1,396 @@
+"""Serial-vs-parallel differential suite for the sharded executor.
+
+The contract of :mod:`repro.counting.parallel` is that the shard *plan* —
+not the worker count — determines the result: ``repro.count(...,
+workers=k)`` must return bit-identical estimates for every ``k`` given the
+same seed and per-method options.  These tests pin that contract from both
+directions:
+
+* estimates, per-state tables and the algorithm-level work counters agree
+  across worker counts (and, for the degenerate plans, with the historical
+  serial entry points);
+* the ``workers`` / ``shards`` knobs reject invalid values and methods
+  without worker support with :class:`~repro.errors.CountingMethodError`.
+
+Worker pools genuinely fork processes, so the workloads here are kept
+small; the wall-clock story lives in ``benchmarks/bench_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.automata.families import (
+    divisibility_nfa,
+    union_of_patterns_nfa,
+)
+from repro.counting.api import CountingSession, CountRequest
+from repro.counting.montecarlo import count_montecarlo
+from repro.counting.parallel import (
+    MC_CHUNK_WORDS,
+    derive_shard_seed,
+    resolve_workers,
+    run_fpras_sharded,
+    shard_root_seed,
+    validate_shards,
+)
+from repro.counting.params import FPRASParameters, ParameterScale
+from repro.errors import CountingMethodError, ReproError
+
+SCALE = ParameterScale.practical(sample_cap=8, union_trial_cap=10)
+
+#: Algorithm-level work counters that must be worker-count invariant.
+WORK_KEYS = ("union_calls", "membership_calls", "sample_draws", "padded_states")
+
+
+def _fpras(nfa, length, *, workers, shards, seed=11):
+    return repro.count(
+        nfa,
+        length,
+        method="fpras",
+        epsilon=0.5,
+        seed=seed,
+        scale=SCALE,
+        workers=workers,
+        shards=shards,
+    )
+
+
+# ----------------------------------------------------------------------
+# Knob validation and error paths
+# ----------------------------------------------------------------------
+def test_negative_workers_rejected(substring_101_nfa):
+    with pytest.raises(CountingMethodError):
+        repro.count(substring_101_nfa, 4, method="fpras", workers=-1)
+
+
+@pytest.mark.parametrize("bad", [1.5, "2", True, None])
+def test_non_integer_workers_rejected(substring_101_nfa, bad):
+    with pytest.raises((CountingMethodError, TypeError)):
+        repro.count(substring_101_nfa, 4, method="fpras", workers=bad)
+
+
+@pytest.mark.parametrize("method", ["exact", "bruteforce", "acjr"])
+@pytest.mark.parametrize("workers", [0, 2, 8])
+def test_workers_on_unsupported_method_rejected(substring_101_nfa, method, workers):
+    with pytest.raises(CountingMethodError, match="does not support sharded"):
+        repro.count(substring_101_nfa, 4, method=method, workers=workers)
+
+
+@pytest.mark.parametrize("bad", [0, -3, 1.5, True])
+def test_bad_shards_rejected(substring_101_nfa, bad):
+    with pytest.raises(CountingMethodError):
+        repro.count(substring_101_nfa, 4, method="fpras", workers=2, shards=bad)
+
+
+def test_shards_unknown_on_montecarlo(substring_101_nfa):
+    with pytest.raises(CountingMethodError, match="does not accept option"):
+        repro.count(substring_101_nfa, 4, method="montecarlo", shards=2)
+
+
+def test_resolve_workers_contract():
+    assert resolve_workers(1) == 1
+    assert resolve_workers(7) == 7
+    assert resolve_workers(0) >= 1
+    for bad in (-1, False, "3"):
+        with pytest.raises(CountingMethodError):
+            resolve_workers(bad)
+
+
+def test_validate_shards_contract():
+    assert validate_shards(1) == 1
+    assert validate_shards(9) == 9
+    for bad in (0, -2, True, 2.0):
+        with pytest.raises(CountingMethodError):
+            validate_shards(bad)
+
+
+def test_shard_root_seed_kinds():
+    assert shard_root_seed(42) == 42
+    stream = random.Random(3)
+    expected = random.Random(3).getrandbits(64)
+    assert shard_root_seed(stream) == expected
+    assert isinstance(shard_root_seed(None), int)
+    with pytest.raises(CountingMethodError):
+        shard_root_seed("seed")
+
+
+def test_derive_shard_seed_is_stable_and_distinct():
+    a = derive_shard_seed(11, "level", 3, "shard", 0)
+    assert a == derive_shard_seed(11, "level", 3, "shard", 0)
+    others = {
+        derive_shard_seed(11, "level", 3, "shard", 1),
+        derive_shard_seed(11, "level", 2, "shard", 0),
+        derive_shard_seed(12, "level", 3, "shard", 0),
+        derive_shard_seed(11, "final"),
+    }
+    assert a not in others and len(others) == 4
+
+
+def test_request_validates_workers_at_construction():
+    with pytest.raises(CountingMethodError):
+        CountRequest(workers=-2)
+    assert CountRequest(workers=0).workers == 0
+
+
+# ----------------------------------------------------------------------
+# FPRAS: serial-vs-parallel differentials
+# ----------------------------------------------------------------------
+def test_fpras_single_shard_plan_matches_legacy_serial(substring_101_nfa):
+    """workers=k with the default plan is bit-identical to the serial path."""
+    legacy = _fpras(substring_101_nfa, 7, workers=1, shards=1)
+    pooled = _fpras(substring_101_nfa, 7, workers=4, shards=1)
+    assert pooled.estimate == legacy.estimate
+    assert pooled.raw.state_estimates == legacy.raw.state_estimates
+    for key in WORK_KEYS:
+        assert pooled.details[key] == legacy.details[key]
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_fpras_sharded_estimates_bit_identical_across_workers(
+    substring_101_nfa, workers
+):
+    serial = _fpras(substring_101_nfa, 7, workers=1, shards=3)
+    pooled = _fpras(substring_101_nfa, 7, workers=workers, shards=3)
+    assert pooled.estimate == serial.estimate
+    assert pooled.raw.state_estimates == serial.raw.state_estimates
+    assert pooled.raw.sample_counts == serial.raw.sample_counts
+    for key in WORK_KEYS:
+        assert pooled.details[key] == serial.details[key]
+    assert pooled.details["shard_root_seed"] == serial.details["shard_root_seed"] == 11
+
+
+def test_fpras_sharded_on_overlapping_union_family():
+    """A family with overlapping predecessor languages (real AppUnion work)."""
+    nfa = union_of_patterns_nfa(["00", "11"])
+    serial = _fpras(nfa, 6, workers=1, shards=4, seed=23)
+    pooled = _fpras(nfa, 6, workers=3, shards=4, seed=23)
+    assert pooled.estimate == serial.estimate
+    assert pooled.raw.state_estimates == serial.raw.state_estimates
+
+
+def test_fpras_sharded_run_is_deterministic(substring_101_nfa):
+    first = _fpras(substring_101_nfa, 6, workers=2, shards=2)
+    second = _fpras(substring_101_nfa, 6, workers=2, shards=2)
+    assert first.estimate == second.estimate
+    assert first.raw.state_estimates == second.raw.state_estimates
+
+
+def test_fpras_sharded_accepts_random_stream_seed(substring_101_nfa):
+    """A random.Random seed contributes its next 64 bits as the shard root."""
+    serial = _fpras(substring_101_nfa, 6, workers=1, shards=2, seed=random.Random(5))
+    pooled = _fpras(substring_101_nfa, 6, workers=2, shards=2, seed=random.Random(5))
+    assert pooled.estimate == serial.estimate
+    assert serial.details["shard_root_seed"] == random.Random(5).getrandbits(64)
+
+
+def test_fpras_sharded_engine_counters_are_merged(substring_101_nfa):
+    """Pooled runs still account the engine work the shards performed."""
+    serial = _fpras(substring_101_nfa, 7, workers=1, shards=3)
+    pooled = _fpras(substring_101_nfa, 7, workers=3, shards=3)
+    for key in ("step_ops", "pre_ops", "cache_lookups", "simulated_steps"):
+        assert serial.engine_counters.get(key, 0) > 0
+        assert pooled.engine_counters.get(key, 0) > 0
+    # Identical worker counts -> identical merged counters (full determinism).
+    again = _fpras(substring_101_nfa, 7, workers=3, shards=3)
+    assert again.engine_counters == pooled.engine_counters
+
+
+def test_fpras_sharded_estimate_is_reasonable(substring_101_nfa):
+    """The sharded estimator still lands near the exact count."""
+    exact = repro.count(substring_101_nfa, 8, method="exact").raw
+    report = _fpras(substring_101_nfa, 8, workers=2, shards=3)
+    assert report.relative_error(exact) < 1.0
+
+
+def test_fpras_unserialisable_automaton_rejected():
+    """Sharded plans require the nfa_to_dict round trip to succeed."""
+    from repro.automata.nfa import NFA
+
+    # States 1 and "1" collide once stringified, so nfa_to_dict refuses.
+    nfa = NFA(
+        states=frozenset({1, "1"}),
+        initial=1,
+        transitions=frozenset({(1, "0", "1"), ("1", "0", 1)}),
+        accepting=frozenset({"1"}),
+        alphabet=("0",),
+    )
+    with pytest.raises(CountingMethodError, match="serialisable"):
+        repro.count(nfa, 4, method="fpras", workers=2, shards=2, seed=1)
+
+
+def test_run_fpras_sharded_direct_entry_point(substring_101_nfa):
+    parameters = FPRASParameters(epsilon=0.5, delta=0.2, scale=SCALE, seed=None)
+    result, details = run_fpras_sharded(
+        substring_101_nfa, 6, parameters, shards=2, workers=2, seed=9
+    )
+    assert result.estimate > 0
+    assert details["shards"] == 2 and details["workers"] == 2
+    serial_result, _ = run_fpras_sharded(
+        substring_101_nfa, 6, parameters, shards=2, workers=1, seed=9
+    )
+    assert serial_result.estimate == result.estimate
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo: serial-vs-parallel differentials
+# ----------------------------------------------------------------------
+def test_montecarlo_parallel_bit_identical_to_serial(substring_101_nfa):
+    """The coordinator draws the serial word stream, so every k agrees."""
+    reports = {
+        workers: repro.count(
+            substring_101_nfa,
+            8,
+            method="montecarlo",
+            seed=5,
+            num_samples=3 * MC_CHUNK_WORDS,
+            workers=workers,
+        )
+        for workers in (1, 2, 4)
+    }
+    legacy = count_montecarlo(substring_101_nfa, 8, num_samples=3 * MC_CHUNK_WORDS, seed=5)
+    estimates = {report.estimate for report in reports.values()}
+    assert estimates == {legacy.estimate}
+    hits = {report.details["hits"] for report in reports.values()}
+    assert hits == {legacy.hits}
+
+
+def test_montecarlo_parallel_merged_counters_worker_invariant(substring_101_nfa):
+    """Chunking is fixed, so pooled counter merges agree across pool sizes."""
+    two = repro.count(
+        substring_101_nfa, 8, method="montecarlo", seed=5,
+        num_samples=4 * MC_CHUNK_WORDS, workers=2,
+    )
+    four = repro.count(
+        substring_101_nfa, 8, method="montecarlo", seed=5,
+        num_samples=4 * MC_CHUNK_WORDS, workers=4,
+    )
+    assert two.engine_counters == four.engine_counters
+    assert two.details["chunks"] == four.details["chunks"] == 4
+    assert two.details["chunk_words"] == MC_CHUNK_WORDS
+
+
+def test_montecarlo_parallel_on_larger_divisibility_instance():
+    nfa = divisibility_nfa(16)
+    serial = repro.count(nfa, 10, method="montecarlo", seed=13, num_samples=5000)
+    pooled = repro.count(
+        nfa, 10, method="montecarlo", seed=13, num_samples=5000, workers=3
+    )
+    assert pooled.estimate == serial.estimate
+    assert pooled.details["hits"] == serial.details["hits"]
+
+
+def test_montecarlo_parallel_wave_boundary_parity(substring_101_nfa):
+    """Runs longer than one drawing wave still match the serial stream."""
+    from repro.counting.parallel import MC_WAVE_WORDS
+
+    num_samples = MC_WAVE_WORDS + 3 * MC_CHUNK_WORDS // 2  # crosses the wave
+    serial = repro.count(
+        substring_101_nfa, 6, method="montecarlo", seed=17,
+        num_samples=num_samples,
+    )
+    pooled = repro.count(
+        substring_101_nfa, 6, method="montecarlo", seed=17,
+        num_samples=num_samples, workers=2,
+    )
+    assert pooled.estimate == serial.estimate
+    assert pooled.details["hits"] == serial.details["hits"]
+    assert pooled.details["chunks"] == -(-num_samples // MC_CHUNK_WORDS)
+
+
+def test_run_fpras_sharded_single_shard_honours_int_seed(substring_101_nfa):
+    """Direct shards=1 calls must be deterministic under an explicit int seed."""
+    parameters = FPRASParameters(epsilon=0.5, delta=0.2, scale=SCALE, seed=None)
+    first, _ = run_fpras_sharded(
+        substring_101_nfa, 6, parameters, shards=1, workers=2, seed=9
+    )
+    second, _ = run_fpras_sharded(
+        substring_101_nfa, 6, parameters, shards=1, workers=2, seed=9
+    )
+    assert first.estimate == second.estimate
+
+
+def test_montecarlo_parallel_validates_arguments(substring_101_nfa):
+    from repro.counting.parallel import run_montecarlo_sharded
+
+    with pytest.raises(ReproError):
+        run_montecarlo_sharded(
+            substring_101_nfa, 4, 0, random.Random(1),
+            backend=None, use_engine_cache=True, workers=2,
+        )
+    with pytest.raises(ReproError):
+        run_montecarlo_sharded(
+            substring_101_nfa, -1, 10, random.Random(1),
+            backend=None, use_engine_cache=True, workers=2,
+        )
+
+
+# ----------------------------------------------------------------------
+# Session and CLI integration
+# ----------------------------------------------------------------------
+def test_session_pins_workers_and_degrades_for_unsupported_methods(
+    substring_101_nfa,
+):
+    session = CountingSession(epsilon=0.5, seed=11, scale=SCALE, workers=2)
+    assert session.defaults.workers == 2
+    # Pinned workers apply to supported methods ...
+    report = session.count(substring_101_nfa, 6, shards=2)
+    assert report.details["workers"] == 2
+    # ... and silently degrade to serial for methods without support,
+    # mirroring how inapplicable pinned options are dropped.
+    exact = session.count(substring_101_nfa, 6, method="exact")
+    assert exact.exact
+    # Explicit per-call workers on an unsupported method still fail loudly.
+    with pytest.raises(CountingMethodError):
+        session.count(substring_101_nfa, 6, method="exact", workers=2)
+    assert session.describe()["workers"] == 2
+
+
+def test_session_sharded_matches_module_level_count(substring_101_nfa):
+    session = CountingSession(epsilon=0.5, seed=11, scale=SCALE, workers=2)
+    via_session = session.count(substring_101_nfa, 7, shards=3)
+    via_count = _fpras(substring_101_nfa, 7, workers=2, shards=3)
+    assert via_session.estimate == via_count.estimate
+
+
+def test_cli_workers_flag_produces_identical_estimates(capsys):
+    from repro.cli import main
+
+    base = [
+        "count", "divisibility", "--family-arg", "divisor=8",
+        "--length", "6", "--seed", "3",
+    ]
+    assert main(base + ["--workers", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(base + ["--workers", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    serial_row = next(line for line in serial_out.splitlines() if "fpras" in line)
+    parallel_row = next(line for line in parallel_out.splitlines() if "fpras" in line)
+    assert serial_row == parallel_row
+    assert "workers" in parallel_out
+
+
+def test_cli_sample_rejects_workers(capsys):
+    from repro.cli import main
+
+    code = main(
+        ["sample", "no_consecutive_ones", "-n", "6", "--seed", "7", "--workers", "2"]
+    )
+    assert code == 2
+    assert "does not support --workers" in capsys.readouterr().err
+
+
+def test_cli_rejects_workers_on_unsupported_method(capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "count", "divisibility", "--family-arg", "divisor=4",
+            "--length", "4", "--method", "bruteforce", "--workers", "2",
+        ]
+    )
+    assert code == 2
+    assert "does not support sharded" in capsys.readouterr().err

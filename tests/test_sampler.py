@@ -7,8 +7,8 @@ from collections import Counter
 
 import pytest
 
-from repro.automata.exact import count_per_state_exact, enumerate_slice
-from repro.automata.families import no_consecutive_ones_nfa, substring_nfa
+from repro.automata.exact import count_per_state_exact
+from repro.automata.families import no_consecutive_ones_nfa
 from repro.automata.unroll import UnrolledAutomaton
 from repro.counting.params import FPRASParameters, ParameterScale
 from repro.counting.sampler import SampleDraw

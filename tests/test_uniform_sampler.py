@@ -9,7 +9,6 @@ from repro.automata import families
 from repro.automata.exact import enumerate_slice
 from repro.automata.nfa import NFA
 from repro.counting.fpras import NFACounter
-from repro.counting.params import FPRASParameters, ParameterScale
 from repro.counting.uniform import UniformWordSampler
 from repro.errors import EmptyLanguageError, ParameterError
 

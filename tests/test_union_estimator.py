@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.counting.params import FPRASParameters, ParameterScale
-from repro.counting.union import SetAccess, UnionEstimate, approximate_union
+from repro.counting.union import SetAccess, approximate_union
 from repro.errors import ParameterError, SampleExhaustedError
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.automata.families import no_consecutive_ones_nfa, substring_nfa
 from repro.automata.nfa import NFA
 from repro.automata.unroll import ReachabilityCache, UnrolledAutomaton
 from repro.errors import AutomatonError

@@ -1,0 +1,203 @@
+"""Emit a machine-readable performance snapshot (``BENCH_5.json``).
+
+CI has always *run* the smoke benchmarks and then thrown the numbers away;
+this tool is the persistence half of the performance-tracking pipeline: it
+times a fixed set of smoke-scale workloads spanning the hot paths (serial
+FPRAS, the numpy block backend, batched Monte-Carlo, the sharded parallel
+executor, the exact DP reference) and writes one JSON document with
+per-benchmark median wall times plus the interesting speedup ratios, the
+seed, and the python/numpy versions.  The ``smoke-benchmarks`` CI job
+uploads the file as an artifact per run, so the bench trajectory
+accumulates and a PR's effect on the hot paths is a download away.
+
+Every workload is seeded (:data:`SEED`), so estimate drift across runs of
+the same commit indicates a determinism bug, not noise; wall times are
+medians over ``--repeats`` runs on a warm engine registry.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py --output BENCH_5.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import platform
+import sys
+import time
+from statistics import median
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.automata.families import divisibility_nfa, substring_nfa
+from repro.counting.api import count
+from repro.counting.params import ParameterScale
+
+#: Schema version of the emitted document (bump on incompatible changes).
+SCHEMA_VERSION = 1
+
+#: One seed for every workload in the report.
+SEED = 20240727
+
+#: Sampling caps keeping every workload at smoke scale (seconds, not minutes).
+SCALE = ParameterScale.practical(sample_cap=12, union_trial_cap=16)
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.__version__
+
+
+def _time_call(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """Median wall time over ``repeats`` calls plus the last result."""
+    timings = []
+    result: object = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        timings.append(time.perf_counter() - started)
+    return median(timings), result
+
+
+def _workloads() -> List[Dict[str, object]]:
+    """The benchmark matrix: name, parameters, and a zero-argument runner."""
+    substring = substring_nfa("101")
+    small_div = divisibility_nfa(48)
+    large_div = divisibility_nfa(256)
+    workloads: List[Dict[str, object]] = [
+        {
+            "name": "fpras_serial_bitset",
+            "params": {"family": "substring(101)", "length": 10, "epsilon": 0.4},
+            "run": lambda: count(
+                substring, 10, method="fpras", epsilon=0.4, seed=SEED, scale=SCALE
+            ),
+        },
+        {
+            "name": "fpras_sharded_serial",
+            "params": {
+                "family": "divisibility(48)", "length": 10, "epsilon": 0.4,
+                "shards": 4, "workers": 1,
+            },
+            "run": lambda: count(
+                small_div, 10, method="fpras", epsilon=0.4, seed=SEED,
+                scale=SCALE, workers=1, shards=4,
+            ),
+        },
+        {
+            "name": "fpras_sharded_pool",
+            "params": {
+                "family": "divisibility(48)", "length": 10, "epsilon": 0.4,
+                "shards": 4, "workers": 4,
+            },
+            "run": lambda: count(
+                small_div, 10, method="fpras", epsilon=0.4, seed=SEED,
+                scale=SCALE, workers=4, shards=4,
+            ),
+        },
+        {
+            "name": "montecarlo_batched",
+            "params": {
+                "family": "divisibility(48)", "length": 12, "num_samples": 20_000,
+            },
+            "run": lambda: count(
+                small_div, 12, method="montecarlo", seed=SEED, num_samples=20_000
+            ),
+        },
+        {
+            "name": "exact_dp_reference",
+            "params": {"family": "divisibility(48)", "length": 12},
+            "run": lambda: count(small_div, 12, method="exact"),
+        },
+    ]
+    if _numpy_version() is not None:
+        workloads.append(
+            {
+                "name": "fpras_numpy_block_backend",
+                "params": {
+                    "family": "divisibility(256)", "length": 8,
+                    "epsilon": 0.4, "backend": "numpy",
+                },
+                "run": lambda: count(
+                    large_div, 8, method="fpras", epsilon=0.4, seed=SEED,
+                    scale=SCALE, backend="numpy",
+                ),
+            }
+        )
+    return workloads
+
+
+def build_report(repeats: int) -> Dict[str, object]:
+    """Time every workload and assemble the JSON document."""
+    benchmarks = []
+    medians: Dict[str, float] = {}
+    for workload in _workloads():
+        seconds, report = _time_call(workload["run"], repeats)
+        medians[workload["name"]] = seconds
+        benchmarks.append(
+            {
+                "name": workload["name"],
+                "params": workload["params"],
+                "median_seconds": seconds,
+                "repeats": repeats,
+                "estimate": getattr(report, "estimate", None),
+                "backend": getattr(report, "backend", None),
+            }
+        )
+    ratios = {}
+    if medians.get("fpras_sharded_pool"):
+        ratios["fpras_parallel_speedup_4_workers"] = (
+            medians["fpras_sharded_serial"] / medians["fpras_sharded_pool"]
+        )
+    if medians.get("fpras_serial_bitset") and medians.get("montecarlo_batched"):
+        ratios["montecarlo_vs_fpras_wall"] = (
+            medians["montecarlo_batched"] / medians["fpras_serial_bitset"]
+        )
+    if medians.get("fpras_numpy_block_backend"):
+        ratios["numpy_block_vs_serial_bitset_wall"] = (
+            medians["fpras_numpy_block_backend"] / medians["fpras_serial_bitset"]
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": _numpy_version(),
+        "platform": platform.platform(),
+        "cpu_count": multiprocessing.cpu_count(),
+        "benchmarks": benchmarks,
+        "ratios": ratios,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the smoke-scale benchmarks and write BENCH_5.json"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_5.json", help="output path (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per workload; the median is reported "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    document = build_report(args.repeats)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    names = ", ".join(entry["name"] for entry in document["benchmarks"])
+    print(f"wrote {args.output} ({len(document['benchmarks'])} benchmarks: {names})")
+    for key, value in sorted(document["ratios"].items()):
+        print(f"  {key}: {value:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
