@@ -7,6 +7,7 @@ Sub-commands
 ``experiment`` run one of the registered experiments (E1 … E7);
 ``families``   list the available structured NFA families;
 ``methods``    list the registered counting methods;
+``serve``      start the counting HTTP server (:mod:`repro.serve`);
 ``params``     print the paper vs operational FPRAS parameters for (m, n, eps).
 
 All counting goes through the unified façade
@@ -198,6 +199,29 @@ def _cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the other sub-commands never pay for the HTTP stack.
+    from repro.serve import CountingServer
+
+    server = CountingServer(
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        cache_entries=args.cache_entries,
+        workers=args.workers,
+    )
+    host, port = server.address
+    print(f"repro serve listening on http://{host}:{port}")
+    print("endpoints: POST /count  GET /stats  GET /methods  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _estimator_options(default_epsilon: float) -> argparse.ArgumentParser:
     """The shared ``--epsilon/--delta/--seed/--backend/--no-engine-cache`` block.
 
@@ -312,6 +336,35 @@ def build_parser() -> argparse.ArgumentParser:
         "methods", help="list registered counting methods"
     )
     methods_cmd.set_defaults(handler=_cmd_methods)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="start the counting HTTP server (POST /count, GET /stats, "
+        "GET /methods)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=8,
+        help="concurrent counting runs admitted before answering 429 "
+        "(default: 8; cache hits are never queued)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="size of the content-addressed result cache (default: 1024)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="default worker processes per counting run when the request "
+        "does not say (default: 1; pools persist across requests)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     params = subparsers.add_parser("params", help="show paper vs operational parameters")
     params.add_argument("--states", "-m", type=int, default=10)

@@ -45,6 +45,8 @@ True
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 import time
 from dataclasses import dataclass, field, replace
@@ -63,11 +65,11 @@ from typing import (
 from repro.automata.engine import acquire_engine, available_backends
 from repro.automata.exact import count_exact
 from repro.automata.nfa import NFA
-from repro.counting.acjr import ACJRCounter, ACJRParameters
+from repro.counting.acjr import ACJRCounter, ACJRParameters, ACJRResult
 from repro.counting.bruteforce import DEFAULT_ENUMERATION_LIMIT, enumerate_count
-from repro.counting.fpras import FPRASParameters, NFACounter
-from repro.counting.montecarlo import run_montecarlo
-from repro.counting.parallel import validate_workers
+from repro.counting.fpras import CountResult, FPRASParameters, NFACounter
+from repro.counting.montecarlo import MonteCarloEstimate, run_montecarlo
+from repro.counting.parallel import ProgressCallback, validate_workers
 from repro.counting.params import ParameterScale
 from repro.errors import CountingMethodError, ParameterError
 
@@ -177,6 +179,162 @@ class CountRequest:
         return default if value is None else value
 
 
+#: Schema version of :meth:`CountReport.to_dict` documents.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _plain_value(value: object) -> object:
+    """Recursively flatten a value to JSON-representable plain types.
+
+    Tuples become lists, sets become sorted lists, mapping keys are
+    stringified, and anything without a JSON form falls back to ``str``.
+    Used for :attr:`CountReport.details`, which per-method runners populate
+    with whatever diagnostics they have.
+    """
+    if isinstance(value, Mapping):
+        return {str(key): _plain_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_plain_value(item) for item in value), key=repr)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _table_to_rows(table: Mapping) -> List[List[object]]:
+    """A ``(state, level) -> value`` table as sorted ``[state, level, value]`` rows."""
+    return [
+        [str(state), level, value]
+        for (state, level), value in sorted(
+            table.items(), key=lambda item: (str(item[0][0]), item[0][1])
+        )
+    ]
+
+
+def _table_from_rows(rows) -> Dict[Tuple[object, int], object]:
+    """Rebuild a per-(state, level) table from :func:`_table_to_rows` output."""
+    return {(state, int(level)): value for state, level, value in rows}
+
+
+def _raw_to_plain(raw: object) -> object:
+    """Flatten :attr:`CountReport.raw` to a tagged, JSON-representable form.
+
+    The per-method result dataclasses become ``{"kind": ...}`` dictionaries
+    (state-table keys turned into rows), exact integer counts keep full
+    precision as JSON integers, and unknown raw objects degrade to a
+    stringified ``"opaque"`` payload rather than failing serialisation.
+    """
+    if raw is None:
+        return None
+    if isinstance(raw, bool):
+        return {"kind": "opaque", "value": str(raw)}
+    if isinstance(raw, int):
+        return {"kind": "int", "value": raw}
+    if isinstance(raw, CountResult):
+        return {
+            "kind": "fpras",
+            "estimate": raw.estimate,
+            "length": raw.length,
+            "num_states": raw.num_states,
+            "epsilon": raw.epsilon,
+            "delta": raw.delta,
+            "ns": raw.ns,
+            "xns": raw.xns,
+            "elapsed_seconds": raw.elapsed_seconds,
+            "union_calls": raw.union_calls,
+            "membership_calls": raw.membership_calls,
+            "sample_draws": raw.sample_draws,
+            "sample_successes": raw.sample_successes,
+            "padded_states": raw.padded_states,
+            "state_estimates": _table_to_rows(raw.state_estimates),
+            "sample_counts": _table_to_rows(raw.sample_counts),
+            "backend": raw.backend,
+            "engine_counters": {
+                str(key): value for key, value in raw.engine_counters.items()
+            },
+        }
+    if isinstance(raw, ACJRResult):
+        return {
+            "kind": "acjr",
+            "estimate": raw.estimate,
+            "length": raw.length,
+            "num_states": raw.num_states,
+            "epsilon": raw.epsilon,
+            "ns": raw.ns,
+            "elapsed_seconds": raw.elapsed_seconds,
+            "membership_calls": raw.membership_calls,
+            "sample_draws": raw.sample_draws,
+            "sample_successes": raw.sample_successes,
+            "state_estimates": _table_to_rows(raw.state_estimates),
+        }
+    if isinstance(raw, MonteCarloEstimate):
+        return {
+            "kind": "montecarlo",
+            "estimate": raw.estimate,
+            "hits": raw.hits,
+            "samples": raw.samples,
+            "total_words": raw.total_words,
+        }
+    return {"kind": "opaque", "value": str(raw)}
+
+
+def _raw_from_plain(document: object) -> object:
+    """Inverse of :func:`_raw_to_plain` (opaque payloads stay strings)."""
+    if document is None:
+        return None
+    if not isinstance(document, Mapping):
+        raise CountingMethodError(
+            f"raw payload must be a tagged mapping or null, got {document!r}"
+        )
+    kind = document.get("kind")
+    if kind == "int":
+        return int(document["value"])
+    if kind == "opaque":
+        return document["value"]
+    if kind == "fpras":
+        return CountResult(
+            estimate=document["estimate"],
+            length=int(document["length"]),
+            num_states=int(document["num_states"]),
+            epsilon=document["epsilon"],
+            delta=document["delta"],
+            ns=int(document["ns"]),
+            xns=int(document["xns"]),
+            elapsed_seconds=document["elapsed_seconds"],
+            union_calls=int(document["union_calls"]),
+            membership_calls=int(document["membership_calls"]),
+            sample_draws=int(document["sample_draws"]),
+            sample_successes=int(document["sample_successes"]),
+            padded_states=int(document["padded_states"]),
+            state_estimates=_table_from_rows(document["state_estimates"]),
+            sample_counts=_table_from_rows(document["sample_counts"]),
+            backend=document["backend"],
+            engine_counters=dict(document["engine_counters"]),
+        )
+    if kind == "acjr":
+        return ACJRResult(
+            estimate=document["estimate"],
+            length=int(document["length"]),
+            num_states=int(document["num_states"]),
+            epsilon=document["epsilon"],
+            ns=int(document["ns"]),
+            elapsed_seconds=document["elapsed_seconds"],
+            membership_calls=int(document["membership_calls"]),
+            sample_draws=int(document["sample_draws"]),
+            sample_successes=int(document["sample_successes"]),
+            state_estimates=_table_from_rows(document["state_estimates"]),
+        )
+    if kind == "montecarlo":
+        return MonteCarloEstimate(
+            estimate=document["estimate"],
+            hits=int(document["hits"]),
+            samples=int(document["samples"]),
+            total_words=int(document["total_words"]),
+        )
+    raise CountingMethodError(f"unknown raw payload kind {kind!r}")
+
+
 @dataclass
 class CountReport:
     """The normalised outcome every registered counting method returns.
@@ -259,6 +417,81 @@ class CountReport:
         if exact == 0:
             return self.estimate == 0
         return exact / (1.0 + self.epsilon) <= self.estimate <= exact * (1.0 + self.epsilon)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A lossless, JSON-serialisable form of the report.
+
+        This is the serving layer's response body (``POST /count``).  The
+        per-method :attr:`raw` result is flattened to plain types — result
+        dataclasses become tagged dictionaries with state-table keys turned
+        into ``[state, level, value]`` rows, exact integer counts keep full
+        precision — and :attr:`details` values are recursively converted
+        (tuples to lists, non-string keys stringified).  ``error_bounds``
+        is included as derived convenience data for clients and ignored on
+        the way back in.  :meth:`from_dict` restores an equal report;
+        ``json`` preserves float reprs, so estimates round-trip
+        bit-identically.
+
+        >>> from repro.automata.families import no_consecutive_ones_nfa
+        >>> report = count(no_consecutive_ones_nfa(), 5, method="exact")
+        >>> CountReport.from_dict(report.to_dict()) == report
+        True
+        >>> import json
+        >>> json.loads(json.dumps(report.to_dict()))["estimate"]
+        13.0
+        """
+        bounds = self.error_bounds()
+        return {
+            "schema": REPORT_SCHEMA_VERSION,
+            "estimate": self.estimate,
+            "method": self.method,
+            "length": self.length,
+            "num_states": self.num_states,
+            "elapsed_seconds": self.elapsed_seconds,
+            "backend": self.backend,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "exact": self.exact,
+            "engine_counters": {
+                str(key): value for key, value in self.engine_counters.items()
+            },
+            "details": _plain_value(self.details),
+            "raw": _raw_to_plain(self.raw),
+            "error_bounds": list(bounds) if bounds is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "CountReport":
+        """Rebuild a report from :meth:`to_dict` output (validating the schema)."""
+        if not isinstance(document, Mapping):
+            raise CountingMethodError(
+                f"count-report document must be a mapping, got {type(document).__name__}"
+            )
+        schema = document.get("schema")
+        if schema != REPORT_SCHEMA_VERSION:
+            raise CountingMethodError(
+                f"unsupported count-report schema {schema!r} "
+                f"(this build reads schema {REPORT_SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                estimate=document["estimate"],
+                method=document["method"],
+                length=int(document["length"]),
+                num_states=int(document["num_states"]),
+                elapsed_seconds=document["elapsed_seconds"],
+                backend=document.get("backend"),
+                epsilon=document.get("epsilon"),
+                delta=document.get("delta"),
+                exact=bool(document.get("exact", False)),
+                engine_counters=dict(document.get("engine_counters") or {}),
+                details=dict(document.get("details") or {}),
+                raw=_raw_from_plain(document.get("raw")),
+            )
+        except KeyError as missing:
+            raise CountingMethodError(
+                f"count-report document is missing field {missing}"
+            ) from missing
 
 
 # ----------------------------------------------------------------------
@@ -389,13 +622,20 @@ def _engine_counter_deltas(engine, base: Dict[str, int], from_cache: bool) -> Di
     options=("scale", "shards"),
     supports_workers=True,
 )
-def _run_fpras(nfa: NFA, length: int, request: CountRequest) -> CountReport:
+def _run_fpras(
+    nfa: NFA,
+    length: int,
+    request: CountRequest,
+    progress: Optional[ProgressCallback] = None,
+) -> CountReport:
     """Run :class:`NFACounter` and normalise its :class:`CountResult`.
 
     ``workers != 1`` or ``shards > 1`` route through the sharded executor
     (:func:`repro.counting.parallel.run_fpras_sharded`); a one-shard plan is
     bit-identical to the serial run, and a fixed multi-shard plan is
-    bit-identical across worker counts.
+    bit-identical across worker counts.  ``progress`` (the anytime hook —
+    see :func:`count_with_progress`) observes completed levels without
+    touching the RNG stream, so it never changes the estimate.
     """
     shards = request.option("shards", 1)
     if request.workers != 1 or shards != 1:
@@ -408,9 +648,10 @@ def _run_fpras(nfa: NFA, length: int, request: CountRequest) -> CountReport:
             shards=shards,
             workers=request.workers,
             seed=request.seed,
+            progress=progress,
         )
     else:
-        result = fpras_counter(nfa, length, request).run()
+        result = fpras_counter(nfa, length, request).run(progress=progress)
         parallel_details = {}
     return CountReport(
         estimate=result.estimate,
@@ -479,17 +720,27 @@ def _run_acjr(nfa: NFA, length: int, request: CountRequest) -> CountReport:
     options=("num_samples",),
     supports_workers=True,
 )
-def _run_montecarlo(nfa: NFA, length: int, request: CountRequest) -> CountReport:
+def _run_montecarlo(
+    nfa: NFA,
+    length: int,
+    request: CountRequest,
+    progress: Optional[ProgressCallback] = None,
+) -> CountReport:
     """Acquire an engine, run the Monte-Carlo loop, report counter deltas.
 
     ``workers != 1`` routes through the sharded executor
     (:func:`repro.counting.parallel.run_montecarlo_sharded`): the word
     stream is drawn by the coordinator exactly as the serial loop draws it,
     so the estimate is bit-identical to serial for every worker count.
+    A ``progress`` callback (see :func:`count_with_progress`) also routes
+    through the wave-structured executor even for ``workers=1`` so waves
+    can be observed — the drawn word stream, and hence the estimate, stays
+    bit-identical to the serial loop; only engine batching counters chunk
+    differently.
     """
     num_samples = request.option("num_samples", 10_000)
     rng = request.rng()
-    if request.workers != 1:
+    if request.workers != 1 or progress is not None:
         from repro.counting.parallel import run_montecarlo_sharded
 
         started = time.perf_counter()
@@ -501,6 +752,7 @@ def _run_montecarlo(nfa: NFA, length: int, request: CountRequest) -> CountReport
             backend=request.backend,
             use_engine_cache=request.use_engine_cache,
             workers=request.workers,
+            progress=progress,
         )
         elapsed = time.perf_counter() - started
         backend_name = parallel_details.pop("backend")
@@ -595,9 +847,8 @@ def _run_exact(nfa: NFA, length: int, request: CountRequest) -> CountReport:
 # ----------------------------------------------------------------------
 # Dispatch and convenience entry points
 # ----------------------------------------------------------------------
-def dispatch(nfa: NFA, length: int, request: CountRequest) -> CountReport:
-    """Resolve a request's method, validate its options, and run it."""
-    method = resolve_method(request.method)
+def _check_dispatch(method: CounterMethod, request: CountRequest) -> None:
+    """Shared request validation for :func:`dispatch` and :func:`count_with_progress`."""
     unknown = set(request.options) - set(method.option_names)
     if unknown:
         accepted = sorted(method.option_names)
@@ -616,7 +867,112 @@ def dispatch(nfa: NFA, length: int, request: CountRequest) -> CountReport:
             f"execution (workers={request.workers}); methods with worker "
             f"support: {supported}"
         )
+
+
+def dispatch(nfa: NFA, length: int, request: CountRequest) -> CountReport:
+    """Resolve a request's method, validate its options, and run it."""
+    method = resolve_method(request.method)
+    _check_dispatch(method, request)
     return method.run(nfa, length, request)
+
+
+#: Methods whose runners accept an anytime progress callback.
+PROGRESS_METHODS = ("fpras", "montecarlo")
+
+
+def count_with_progress(
+    nfa: NFA,
+    length: int,
+    request: CountRequest,
+    progress: ProgressCallback,
+) -> CountReport:
+    """Run a request with an anytime progress callback (serving-layer hook).
+
+    Only the trial-loop methods (:data:`PROGRESS_METHODS`) support progress:
+    fpras reports after every completed level of the dynamic program,
+    montecarlo after every wave of samples.  Callbacks run on the calling
+    thread and never touch the RNG streams, so the returned report's
+    estimate is bit-identical to a plain :func:`dispatch` of the same
+    request — the streaming front-end serves exactly the number a direct
+    ``repro.count`` call would have produced.
+    """
+    method = resolve_method(request.method)
+    _check_dispatch(method, request)
+    if request.method == "fpras":
+        return _run_fpras(nfa, length, request, progress=progress)
+    if request.method == "montecarlo":
+        return _run_montecarlo(nfa, length, request, progress=progress)
+    raise CountingMethodError(
+        f"method {request.method!r} does not support anytime progress; "
+        f"methods with progress support: {list(PROGRESS_METHODS)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Request canonicalisation (the serving layer's cache key)
+# ----------------------------------------------------------------------
+def canonical_request_knobs(request: CountRequest, length: int) -> Dict[str, object]:
+    """The normalised knob mapping a result-cache key is derived from.
+
+    Contains exactly the knobs that can change an estimate: the method
+    name, the instance length, the epsilon/delta targets, the integer
+    seed, the backend, and the per-method options in sorted order —
+    notably the fpras ``shards``, which selects the shard plan and hence
+    the RNG substream layout.  ``workers`` and ``use_engine_cache`` are
+    deliberately absent: the sharded executor's plan-invariance contract
+    makes estimates bit-identical across worker counts, and the engine
+    registry never changes results — so one cached answer serves every
+    worker configuration.
+
+    >>> a = CountRequest(method="fpras", seed=7, options={"shards": 2})
+    >>> b = CountRequest(method="fpras", seed=7, workers=4, options={"shards": 2})
+    >>> canonical_request_knobs(a, 8) == canonical_request_knobs(b, 8)
+    True
+    """
+    if isinstance(request.seed, random.Random):
+        raise CountingMethodError(
+            "a random.Random seed is a live stream and cannot be canonicalised"
+        )
+    return {
+        "method": request.method,
+        "length": int(length),
+        "epsilon": float(request.epsilon),
+        "delta": float(request.delta),
+        "seed": request.seed,
+        "backend": request.backend,
+        "options": {key: request.options[key] for key in sorted(request.options)},
+    }
+
+
+def request_fingerprint(
+    document: Mapping[str, object], length: int, request: CountRequest
+) -> Optional[str]:
+    """The content-addressed cache key for one (automaton, request), or ``None``.
+
+    ``document`` is :func:`~repro.automata.serialization.nfa_to_dict`
+    output — already canonical (sorted states and transitions), so the
+    SHA-256 over the compact sorted-key JSON of ``{"nfa": document,
+    "request": knobs}`` identifies the *computation content* rather than
+    any particular client's spelling of it: a million clients asking about
+    the same regex with the same knobs hash to the same key.
+
+    ``None`` marks the request uncacheable: no seed (every run draws fresh
+    entropy, so results are not repeatable), a live ``random.Random``
+    stream, or an option with no JSON form (e.g. an in-process
+    ``ParameterScale`` object).
+    """
+    if request.seed is None or isinstance(request.seed, random.Random):
+        return None
+    knobs = canonical_request_knobs(request, length)
+    try:
+        payload = json.dumps(
+            {"nfa": document, "request": knobs},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def count(

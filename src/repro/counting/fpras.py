@@ -24,7 +24,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.automata.nfa import NFA, State, Word
 from repro.automata.unroll import UnrolledAutomaton
@@ -181,8 +181,19 @@ class NFACounter:
             self.parameters.xns(n, m),
         )
 
-    def run(self) -> CountResult:
-        """Execute Algorithm 3 and return the estimate with diagnostics."""
+    def run(
+        self,
+        progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> CountResult:
+        """Execute Algorithm 3 and return the estimate with diagnostics.
+
+        ``progress``, when given, is called after every completed level of
+        the dynamic program with ``{"method", "level", "levels",
+        "live_states"}`` — the anytime hook the serving layer streams
+        progress from.  The callback never touches the RNG stream, so the
+        default ``progress=None`` path and a monitored run are
+        bit-identical.
+        """
         start = time.perf_counter()
         n = self.length
         m = self.nfa.num_states
@@ -190,8 +201,18 @@ class NFACounter:
 
         self._initialise_level_zero(ns)
         for level in range(1, n + 1):
-            for state in sorted(self.unroll.live_states(level), key=repr):
+            states = sorted(self.unroll.live_states(level), key=repr)
+            for state in states:
                 self._process_state(state, level, beta, eta, ns, xns)
+            if progress is not None:
+                progress(
+                    {
+                        "method": "fpras",
+                        "level": level,
+                        "levels": n,
+                        "live_states": len(states),
+                    }
+                )
 
         estimate = self._final_estimate(beta, eta)
         elapsed = time.perf_counter() - start

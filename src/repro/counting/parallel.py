@@ -55,6 +55,19 @@ execution for *any* worker count; workers only run
 (:data:`MC_CHUNK_WORDS`, worker-count independent) and the accepted counts
 are summed.
 
+Crash handling and pool reuse
+-----------------------------
+The coordinator never blocks forever on a worker: replies are awaited with
+a poll-plus-liveness loop, and a worker that dies without replying (OOM
+kill, SIGKILL) surfaces as :class:`~repro.errors.WorkerCrashError` naming
+the worker and its exit code, with ``close()`` still reaping the
+survivors.  Long-lived callers (the :mod:`repro.serve` layer) install a
+:class:`WorkerPoolManager` so pools persist across counting runs instead
+of being spawned per call; a failed run discards its pool and the next
+lease starts clean.  Both sharded entry points also accept an anytime
+``progress`` callback (per FPRAS level / per Monte-Carlo wave) that never
+touches the RNG streams, so streaming progress cannot change an estimate.
+
 What is and is not invariant
 ----------------------------
 Estimates, per-state tables and the algorithm-level work counters
@@ -71,17 +84,24 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing
+import os
 import random
+import threading
 import time
 import traceback
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.automata.engine import acquire_engine, resolve_backend
 from repro.automata.nfa import NFA
 from repro.automata.serialization import nfa_from_dict, nfa_to_dict
 from repro.counting.fpras import CountResult, FPRASParameters, NFACounter
 from repro.counting.montecarlo import MonteCarloEstimate
-from repro.errors import AutomatonError, CountingMethodError, ReproError
+from repro.errors import (
+    AutomatonError,
+    CountingMethodError,
+    ReproError,
+    WorkerCrashError,
+)
 
 #: Words per Monte-Carlo acceptance chunk.  Fixed (never derived from the
 #: worker count) so the merged batch counters are worker-count invariant.
@@ -93,6 +113,13 @@ _MC_DRAW_BLOCK = 8192
 
 #: Name recorded in report details for the substream derivation scheme.
 SEED_DERIVATION_SCHEME = "sha256(root, *path)[:8]"
+
+#: An anytime-progress callback: called with a small plain-dict snapshot
+#: after every completed unit of work (fpras: one level of the dynamic
+#: program; montecarlo: one wave of samples).  Callbacks run on the
+#: coordinator thread, never touch the RNG streams, and therefore cannot
+#: change the estimate.
+ProgressCallback = Callable[[Dict[str, object]], None]
 
 
 # ----------------------------------------------------------------------
@@ -122,7 +149,13 @@ def validate_workers(workers: object) -> int:
 
 
 def resolve_workers(workers: object) -> int:
-    """Validate the ``workers`` knob and resolve ``0`` to the CPU count.
+    """Validate the ``workers`` knob and resolve ``0`` to the usable CPU count.
+
+    ``0`` prefers ``len(os.sched_getaffinity(0))`` where the platform
+    provides it: unlike ``multiprocessing.cpu_count()`` it respects cgroup
+    CPU sets and scheduler affinity masks, so ``--workers 0`` inside a
+    container limited to 2 of the host's 64 cores starts 2 workers instead
+    of 64 — exactly the environment a long-lived counting server runs in.
 
     >>> resolve_workers(1), resolve_workers(4)
     (1, 4)
@@ -131,6 +164,12 @@ def resolve_workers(workers: object) -> int:
     """
     workers = validate_workers(workers)
     if workers == 0:
+        getaffinity = getattr(os, "sched_getaffinity", None)
+        if getaffinity is not None:
+            try:
+                return max(1, len(getaffinity(0)))
+            except OSError:  # pragma: no cover - platform-specific failure
+                pass
         return multiprocessing.cpu_count()
     return workers
 
@@ -256,6 +295,12 @@ def _worker_main(connection) -> None:
                         for key, value in engine.counters().items()
                     }
                     connection.send(("ok", {"hits": hits, "engine": delta}))
+                elif kind == "ping":
+                    # Liveness / warm-up probe: lets a pool be constructed
+                    # (and later health-checked) before any method-specific
+                    # init message arrives — the reuse path of
+                    # :class:`WorkerPoolManager`.
+                    connection.send(("ok", None))
                 elif kind == "stop":
                     break
                 else:  # pragma: no cover - protocol misuse is a programming error
@@ -316,7 +361,12 @@ class _WorkerPool:
     broadcast, and responses are collected per pipe in FIFO order.
     """
 
-    def __init__(self, size: int, init_message: Tuple) -> None:
+    #: Seconds between liveness checks while a reply is pending.  Short
+    #: enough that a killed worker surfaces promptly, long enough that the
+    #: poll loop is free compared with any real shard task.
+    RECV_POLL_SECONDS = 0.05
+
+    def __init__(self, size: int, init_message: Optional[Tuple] = None) -> None:
         context = _fork_context()
         self._connections = []
         self._processes = []
@@ -330,10 +380,8 @@ class _WorkerPool:
                 child_end.close()
                 self._connections.append(parent_end)
                 self._processes.append(process)
-            for connection in self._connections:
-                connection.send(init_message)
-            for connection in self._connections:
-                self._receive(connection)
+            if init_message is not None:
+                self.broadcast(init_message)
         except BaseException:
             self.close()
             raise
@@ -342,20 +390,65 @@ class _WorkerPool:
     def size(self) -> int:
         return len(self._processes)
 
-    def _receive(self, connection):
-        status, payload = connection.recv()
+    @property
+    def healthy(self) -> bool:
+        """Whether every worker process is still alive (non-empty pool)."""
+        return bool(self._processes) and all(
+            process.is_alive() for process in self._processes
+        )
+
+    def _crash(self, worker: int, what: str) -> WorkerCrashError:
+        """Build the diagnostic for a worker that died instead of replying."""
+        process = self._processes[worker]
+        # Reap first so ``exitcode`` reflects the real status (e.g. -9 for
+        # SIGKILL) instead of ``None`` for a not-yet-waited-on zombie.
+        process.join(timeout=1.0)
+        return WorkerCrashError(
+            f"sharded worker {worker} (pid {process.pid}) {what} "
+            f"(exit code {process.exitcode}); a worker that dies without "
+            f"replying was usually OOM-killed or hit by an external signal"
+        )
+
+    def _send(self, worker: int, message: Tuple) -> None:
+        """Send one message, surfacing a dead worker as :class:`WorkerCrashError`."""
+        try:
+            self._connections[worker].send(message)
+        except (BrokenPipeError, OSError):
+            raise self._crash(worker, "is gone (its pipe is closed)") from None
+
+    def _receive(self, worker: int):
+        """Wait for one reply, polling liveness instead of blocking forever.
+
+        A worker killed mid-task (OOM killer, SIGKILL) can never reply, so a
+        bare ``connection.recv()`` would hang the coordinator and then leak a
+        raw ``EOFError`` once the pipe collapsed.  Poll with a timeout,
+        checking ``process.is_alive()`` between polls, and raise
+        :class:`~repro.errors.WorkerCrashError` naming the dead worker and
+        its exit code; ``close()`` afterwards still reaps the survivors.
+        """
+        connection = self._connections[worker]
+        process = self._processes[worker]
+        while not connection.poll(self.RECV_POLL_SECONDS):
+            # Re-check the pipe after the liveness test: the worker may have
+            # sent its reply and exited between the two.
+            if not process.is_alive() and not connection.poll(0):
+                raise self._crash(worker, "died before replying")
+        try:
+            status, payload = connection.recv()
+        except (EOFError, OSError):
+            raise self._crash(worker, "closed its pipe mid-reply") from None
         if status == "error":
             raise CountingMethodError(
-                f"sharded worker failed:\n{payload}"
+                f"sharded worker {worker} failed:\n{payload}"
             )
         return payload
 
     def broadcast(self, message: Tuple) -> None:
         """Send ``message`` to every worker and wait for all acknowledgements."""
-        for connection in self._connections:
-            connection.send(message)
-        for connection in self._connections:
-            self._receive(connection)
+        for worker in range(len(self._connections)):
+            self._send(worker, message)
+        for worker in range(len(self._connections)):
+            self._receive(worker)
 
     #: Maximum unanswered tasks per worker pipe.  Bounding the in-flight
     #: window keeps at most this many unread results queued on any pipe, so
@@ -382,18 +475,18 @@ class _WorkerPool:
         received = [0] * workers
         for worker, queue in enumerate(queues):
             while sent[worker] < min(self.WINDOW, len(queue)):
-                self._connections[worker].send(messages[queue[sent[worker]]])
+                self._send(worker, messages[queue[sent[worker]]])
                 sent[worker] += 1
         outstanding = sum(sent)
         while outstanding:
             for worker, queue in enumerate(queues):
                 if received[worker] < sent[worker]:
                     index = queue[received[worker]]
-                    results[index] = self._receive(self._connections[worker])
+                    results[index] = self._receive(worker)
                     received[worker] += 1
                     outstanding -= 1
                     if sent[worker] < len(queue):
-                        self._connections[worker].send(messages[queue[sent[worker]]])
+                        self._send(worker, messages[queue[sent[worker]]])
                         sent[worker] += 1
                         outstanding += 1
         return results
@@ -423,6 +516,185 @@ class _WorkerPool:
 
 
 # ----------------------------------------------------------------------
+# Pool reuse (the serving layer's persistent pools)
+# ----------------------------------------------------------------------
+class WorkerPoolManager:
+    """Reuses worker pools across counting runs instead of respawning them.
+
+    A one-shot ``repro.count(..., workers=k)`` pays the process spawn cost
+    once and throws the pool away; a long-lived server answering many
+    requests should not.  The manager keeps a small stack of idle pools per
+    size: :meth:`lease` hands out a healthy idle pool (re-initialising it
+    for the new run with the caller's init message) or spawns a fresh one,
+    :meth:`release` returns it for the next request, and :meth:`discard`
+    closes a pool whose worker crashed so the next lease starts clean.
+    All methods are thread-safe — the serving layer leases from concurrent
+    request threads.
+
+    Pass a manager to :func:`run_fpras_sharded` / :func:`run_montecarlo_sharded`
+    explicitly, or install one process-wide with :func:`install_pool_manager`
+    so every dispatch through :mod:`repro.counting.api` picks it up.
+    """
+
+    def __init__(self, max_idle_per_size: int = 2) -> None:
+        if (
+            isinstance(max_idle_per_size, bool)
+            or not isinstance(max_idle_per_size, int)
+            or max_idle_per_size < 0
+        ):
+            raise CountingMethodError(
+                f"max_idle_per_size must be a non-negative integer, "
+                f"got {max_idle_per_size!r}"
+            )
+        self._max_idle = max_idle_per_size
+        self._lock = threading.Lock()
+        self._idle: Dict[int, List[_WorkerPool]] = {}
+        self._created = 0
+        self._reused = 0
+        self._discarded = 0
+        self._leased = 0
+
+    def _pop_idle(self, size: int) -> Optional[_WorkerPool]:
+        """A healthy idle pool of ``size`` workers, closing stale ones."""
+        while True:
+            with self._lock:
+                stack = self._idle.get(size)
+                candidate = stack.pop() if stack else None
+            if candidate is None:
+                return None
+            if candidate.healthy:
+                return candidate
+            candidate.close()
+            with self._lock:
+                self._discarded += 1
+
+    def lease(self, size: int, init_message: Tuple) -> _WorkerPool:
+        """A pool of ``size`` workers, initialised with ``init_message``.
+
+        Reuses an idle pool when one is available (the persistent-pool fast
+        path); if re-initialising it fails — a worker died while idle — the
+        stale pool is closed and a fresh one is spawned instead.
+        """
+        pool = self._pop_idle(size)
+        if pool is not None:
+            try:
+                pool.broadcast(init_message)
+            except ReproError:
+                pool.close()
+                with self._lock:
+                    self._discarded += 1
+                pool = None
+            else:
+                with self._lock:
+                    self._reused += 1
+        if pool is None:
+            pool = _WorkerPool(size, init_message)
+            with self._lock:
+                self._created += 1
+        with self._lock:
+            self._leased += 1
+        return pool
+
+    def release(self, pool: _WorkerPool) -> None:
+        """Return a leased pool; kept idle if healthy and there is room."""
+        with self._lock:
+            self._leased -= 1
+            stack = self._idle.setdefault(pool.size, [])
+            if pool.healthy and len(stack) < self._max_idle:
+                stack.append(pool)
+                return
+        pool.close()
+        with self._lock:
+            self._discarded += 1
+
+    def discard(self, pool: _WorkerPool) -> None:
+        """Close a leased pool that must not be reused (a worker crashed)."""
+        pool.close()
+        with self._lock:
+            self._leased -= 1
+            self._discarded += 1
+
+    def close(self) -> None:
+        """Close every idle pool (leased pools close on release/discard)."""
+        with self._lock:
+            pools = [pool for stack in self._idle.values() for pool in stack]
+            self._idle.clear()
+        for pool in pools:
+            pool.close()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Lifetime pool statistics (for the serving layer's ``/stats``)."""
+        with self._lock:
+            return {
+                "created": self._created,
+                "reused": self._reused,
+                "discarded": self._discarded,
+                "leased": self._leased,
+                "idle": sum(len(stack) for stack in self._idle.values()),
+            }
+
+    def __enter__(self) -> "WorkerPoolManager":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+#: Process-wide default pool manager (``None`` = spawn per run, the
+#: historical behaviour).  Installed by long-lived servers; see
+#: :func:`install_pool_manager`.
+_ACTIVE_POOL_MANAGER: Optional[WorkerPoolManager] = None
+
+
+def install_pool_manager(
+    manager: Optional[WorkerPoolManager],
+) -> Optional[WorkerPoolManager]:
+    """Install the process-wide default pool manager; returns the previous one.
+
+    With a manager installed, every sharded run dispatched through
+    :mod:`repro.counting.api` (and hence the serving layer) reuses pools
+    instead of spawning per call.  Pass ``None`` to restore spawn-per-run.
+    """
+    global _ACTIVE_POOL_MANAGER
+    previous = _ACTIVE_POOL_MANAGER
+    _ACTIVE_POOL_MANAGER = manager
+    return previous
+
+
+def _acquire_pool(
+    size: int,
+    init_message: Tuple,
+    pool_manager: Optional[WorkerPoolManager],
+) -> Tuple[_WorkerPool, Optional[WorkerPoolManager]]:
+    """A pool for one run: leased from a manager when one is in effect."""
+    manager = pool_manager if pool_manager is not None else _ACTIVE_POOL_MANAGER
+    if manager is None:
+        return _WorkerPool(size, init_message), None
+    return manager.lease(size, init_message), manager
+
+
+def _finish_pool(
+    pool: Optional[_WorkerPool],
+    manager: Optional[WorkerPoolManager],
+    failed: bool,
+) -> None:
+    """Run-end pool disposal: close owned pools, release/discard managed ones.
+
+    A failed run discards its pool even for benign errors — a pool whose
+    protocol state is unknown (e.g. a worker raised mid-level) must not be
+    handed to the next request.
+    """
+    if pool is None:
+        return
+    if manager is None:
+        pool.close()
+    elif failed:
+        manager.discard(pool)
+    else:
+        manager.release(pool)
+
+
+# ----------------------------------------------------------------------
 # FPRAS sharded execution
 # ----------------------------------------------------------------------
 def run_fpras_sharded(
@@ -433,6 +705,8 @@ def run_fpras_sharded(
     shards: int,
     workers: int,
     seed: object,
+    pool_manager: Optional[WorkerPoolManager] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Tuple[CountResult, Dict[str, object]]:
     """Execute the FPRAS under a ``shards``-way plan with ``workers`` processes.
 
@@ -441,6 +715,13 @@ def run_fpras_sharded(
     result is bit-identical for every ``workers`` value, because the plan —
     shard membership and every substream seed — depends only on
     ``(seed, shards)`` and the workload.
+
+    ``pool_manager`` (or a manager installed via :func:`install_pool_manager`)
+    reuses persistent worker pools across calls instead of spawning per run;
+    a run that fails discards its pool so the next lease starts clean.
+    ``progress`` is called after every completed level with
+    ``{"method", "level", "levels", "live_states"}`` — it runs on the
+    coordinator thread and cannot affect the estimate.
     """
     shards = validate_shards(shards)
     workers = resolve_workers(workers)
@@ -459,7 +740,7 @@ def run_fpras_sharded(
         else:
             rng = None
         counter = NFACounter(nfa, length, parameters, rng=rng)
-        result = counter.run()
+        result = counter.run(progress=progress)
         return result, {"workers": workers, "shards": 1}
 
     root = shard_root_seed(seed)
@@ -470,12 +751,16 @@ def run_fpras_sharded(
 
     pool_size = min(workers, shards)
     pool: Optional[_WorkerPool] = None
+    manager: Optional[WorkerPoolManager] = None
+    failed = False
     task_stats: Dict[str, int] = {}
     task_engine: Dict[str, int] = {}
     try:
         if pool_size > 1:
-            pool = _WorkerPool(
-                pool_size, ("init-fpras", document, length, parameters)
+            pool, manager = _acquire_pool(
+                pool_size,
+                ("init-fpras", document, length, parameters),
+                pool_manager,
             )
             initial = coordinator.nfa.initial
             pool.broadcast(
@@ -525,11 +810,22 @@ def run_fpras_sharded(
                 for state, lvl, estimate, samples, drawn in level_entries:
                     coordinator.install_state(state, lvl, estimate, samples, drawn)
                 pool.broadcast(("sync", level_entries))
+            if progress is not None:
+                progress(
+                    {
+                        "method": "fpras",
+                        "level": level,
+                        "levels": length,
+                        "live_states": len(states),
+                    }
+                )
         final_rng = random.Random(derive_shard_seed(root, "final"))
         estimate = coordinator._final_estimate(beta, eta, rng=final_rng)
+    except BaseException:
+        failed = True
+        raise
     finally:
-        if pool is not None:
-            pool.close()
+        _finish_pool(pool, manager, failed)
 
     stats = coordinator.work_statistics()
     for key, value in task_stats.items():
@@ -610,6 +906,8 @@ def run_montecarlo_sharded(
     backend: Optional[str],
     use_engine_cache: bool,
     workers: int,
+    pool_manager: Optional[WorkerPoolManager] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Tuple[MonteCarloEstimate, Dict[str, int], Dict[str, object]]:
     """The Monte-Carlo trial loop over a worker pool.
 
@@ -619,6 +917,12 @@ def run_montecarlo_sharded(
     Monte-Carlo for any worker count while peak memory stays at one wave
     of words.  Returns ``(estimate, merged engine-counter deltas,
     details)``.
+
+    ``pool_manager`` (or an installed process-wide manager) reuses
+    persistent pools across calls.  ``progress`` is called after every wave
+    with ``{"method", "samples", "num_samples", "hits", "total_words"}``
+    — the anytime hook the serving layer streams partial estimates from;
+    it never touches ``rng``, so the final estimate is unchanged.
     """
     if length < 0:
         raise ReproError("length must be non-negative")
@@ -629,15 +933,29 @@ def run_montecarlo_sharded(
     total_words = len(alphabet) ** length
     total_chunks = -(-num_samples // MC_CHUNK_WORDS)
 
+    def _wave_progress(done: int, hits_so_far: int) -> None:
+        if progress is not None:
+            progress(
+                {
+                    "method": "montecarlo",
+                    "samples": done,
+                    "num_samples": num_samples,
+                    "hits": hits_so_far,
+                    "total_words": total_words,
+                }
+            )
+
     pool_size = min(workers, total_chunks)
     counters: Dict[str, int] = {}
     hits = 0
     if pool_size > 1:
         roundtripped, document = _roundtrip_nfa(nfa)
         backend_name = resolve_backend(roundtripped, backend)
-        with _WorkerPool(
-            pool_size, ("init-mc", document, backend, use_engine_cache)
-        ) as pool:
+        pool, manager = _acquire_pool(
+            pool_size, ("init-mc", document, backend, use_engine_cache), pool_manager
+        )
+        failed = False
+        try:
             remaining = num_samples
             while remaining:
                 wave = _draw_wave(alphabet, length, remaining, rng)
@@ -652,6 +970,12 @@ def run_montecarlo_sharded(
                     hits += outcome["hits"]
                     for key, value in outcome["engine"].items():
                         counters[key] = counters.get(key, 0) + value
+                _wave_progress(num_samples - remaining, hits)
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            _finish_pool(pool, manager, failed)
         counters["engine_cache_hit"] = 0
     else:
         engine, from_cache = acquire_engine(nfa, backend, use_cache=use_engine_cache)
@@ -663,6 +987,7 @@ def run_montecarlo_sharded(
             remaining -= len(wave)
             for start in range(0, len(wave), MC_CHUNK_WORDS):
                 hits += int(sum(engine.accepts_batch(wave[start : start + MC_CHUNK_WORDS])))
+            _wave_progress(num_samples - remaining, hits)
         counters = {
             key: value - base.get(key, 0)
             for key, value in engine.counters().items()

@@ -566,3 +566,246 @@ class TestCLIMethodFlag:
         )
         output = capsys.readouterr().out
         assert "reference" in output
+
+
+# ----------------------------------------------------------------------
+# Report serialization (the serving layer's wire format)
+# ----------------------------------------------------------------------
+class TestReportSerialization:
+    SCALE = ParameterScale.practical(sample_cap=8, union_trial_cap=10)
+
+    def _report(self, method, **options):
+        return count(
+            no_consecutive_ones_nfa(),
+            6,
+            method=method,
+            epsilon=0.5,
+            seed=SEED,
+            **options,
+        )
+
+    @pytest.mark.parametrize(
+        "method, options",
+        [
+            ("fpras", {"scale": ParameterScale.practical(sample_cap=8,
+                                                         union_trial_cap=10)}),
+            ("acjr", {"sample_cap": 16}),
+            ("montecarlo", {"num_samples": 64}),
+            ("bruteforce", {}),
+            ("exact", {}),
+        ],
+    )
+    def test_round_trip_is_lossless_for_every_method(self, method, options):
+        report = self._report(method, **options)
+        restored = CountReport.from_dict(report.to_dict())
+        assert restored == report
+        assert restored.error_bounds() == report.error_bounds()
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        report = self._report("fpras", scale=self.SCALE)
+        wire = json.dumps(report.to_dict())
+        revived = CountReport.from_dict(json.loads(wire))
+        # Bit-identical through JSON: repr-round-trip floats, exact ints.
+        assert revived.estimate == report.estimate
+        assert revived.raw.state_estimates == report.raw.state_estimates
+        assert revived.engine_counters == report.engine_counters
+
+    def test_montecarlo_raw_survives_json(self):
+        import json
+
+        report = self._report("montecarlo", num_samples=64)
+        revived = CountReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert revived.raw == report.raw
+
+    def test_exact_raw_is_a_plain_int(self):
+        report = self._report("exact")
+        document = report.to_dict()
+        assert document["raw"] == {"kind": "int", "value": 21}
+        assert CountReport.from_dict(document).raw == 21
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(CountingMethodError):
+            CountReport.from_dict("not a mapping")
+        with pytest.raises(CountingMethodError):
+            CountReport.from_dict({"schema": 999})
+        report = self._report("exact")
+        document = report.to_dict()
+        del document["estimate"]
+        with pytest.raises(CountingMethodError):
+            CountReport.from_dict(document)
+
+    def test_from_dict_rejects_unknown_raw_kind(self):
+        document = self._report("exact").to_dict()
+        document["raw"] = {"kind": "hologram"}
+        with pytest.raises(CountingMethodError):
+            CountReport.from_dict(document)
+
+    def test_extra_keys_are_ignored(self):
+        """The server adds a 'served' envelope; from_dict must not care."""
+        document = self._report("exact").to_dict()
+        document["served"] = {"cached": True, "fingerprint": "abc"}
+        assert CountReport.from_dict(document).estimate == 21.0
+
+
+# ----------------------------------------------------------------------
+# Request canonicalisation / fingerprints (the cache key)
+# ----------------------------------------------------------------------
+class TestRequestFingerprint:
+    def _document(self):
+        from repro.automata.serialization import nfa_to_dict
+
+        return nfa_to_dict(no_consecutive_ones_nfa())
+
+    def test_stable_across_calls(self):
+        from repro.counting.api import request_fingerprint
+
+        request = CountRequest(method="fpras", epsilon=0.5, seed=3)
+        first = request_fingerprint(self._document(), 6, request)
+        second = request_fingerprint(self._document(), 6, request)
+        assert first == second
+        assert len(first) == 64  # sha256 hexdigest
+
+    @pytest.mark.parametrize(
+        "base, variant",
+        [
+            (
+                CountRequest(method="fpras", seed=3),
+                CountRequest(method="montecarlo", seed=3),
+            ),
+            (
+                CountRequest(epsilon=0.5, seed=3),
+                CountRequest(epsilon=0.4, seed=3),
+            ),
+            (
+                CountRequest(delta=0.1, seed=3),
+                CountRequest(delta=0.2, seed=3),
+            ),
+            (CountRequest(seed=3), CountRequest(seed=4)),
+            (
+                CountRequest(seed=3),
+                CountRequest(seed=3, backend="reference"),
+            ),
+            (
+                CountRequest(seed=3),
+                CountRequest(seed=3, options={"shards": 2}),
+            ),
+        ],
+        ids=["method", "epsilon", "delta", "seed", "backend", "shards"],
+    )
+    def test_every_estimate_affecting_knob_is_in_the_key(self, base, variant):
+        from repro.counting.api import request_fingerprint
+
+        document = self._document()
+        assert request_fingerprint(document, 6, base) != request_fingerprint(
+            document, 6, variant
+        )
+
+    def test_length_is_in_the_key(self):
+        from repro.counting.api import request_fingerprint
+
+        request = CountRequest(seed=3)
+        document = self._document()
+        assert request_fingerprint(document, 6, request) != request_fingerprint(
+            document, 7, request
+        )
+
+    def test_workers_and_engine_cache_are_not_in_the_key(self):
+        """Worker-invariant estimates mean one cache line serves every k."""
+        from repro.counting.api import request_fingerprint
+
+        document = self._document()
+        base = request_fingerprint(document, 6, CountRequest(seed=3))
+        for variant in (
+            CountRequest(seed=3, workers=4),
+            CountRequest(seed=3, use_engine_cache=False),
+        ):
+            assert request_fingerprint(document, 6, variant) == base
+
+    def test_automaton_is_in_the_key(self):
+        from repro.automata.serialization import nfa_to_dict
+        from repro.counting.api import request_fingerprint
+
+        request = CountRequest(seed=3)
+        other = nfa_to_dict(substring_nfa("101"))
+        assert request_fingerprint(self._document(), 6, request) != (
+            request_fingerprint(other, 6, request)
+        )
+
+    def test_seedless_and_stream_seeded_requests_are_uncacheable(self):
+        from repro.counting.api import request_fingerprint
+
+        document = self._document()
+        assert request_fingerprint(document, 6, CountRequest()) is None
+        stream_seeded = CountRequest(seed=random.Random(1))
+        assert request_fingerprint(document, 6, stream_seeded) is None
+
+    def test_non_json_options_are_uncacheable(self):
+        from repro.counting.api import request_fingerprint
+
+        request = CountRequest(
+            method="fpras", seed=3, options={"scale": ParameterScale.practical()}
+        )
+        assert request_fingerprint(self._document(), 6, request) is None
+
+    def test_canonical_knobs_reject_stream_seeds(self):
+        from repro.counting.api import canonical_request_knobs
+
+        with pytest.raises(CountingMethodError):
+            canonical_request_knobs(CountRequest(seed=random.Random(1)), 6)
+
+
+# ----------------------------------------------------------------------
+# Anytime progress (count_with_progress)
+# ----------------------------------------------------------------------
+class TestCountWithProgress:
+    SCALE = ParameterScale.practical(sample_cap=8, union_trial_cap=10)
+
+    def test_fpras_progress_levels_and_identical_estimate(self):
+        from repro.counting.api import count_with_progress
+
+        nfa = no_consecutive_ones_nfa()
+        request = CountRequest(
+            method="fpras", epsilon=0.5, seed=SEED, options={"scale": self.SCALE}
+        )
+        events = []
+        streamed = count_with_progress(nfa, 6, request, events.append)
+        direct = dispatch(nfa, 6, request)
+        assert streamed.estimate == direct.estimate
+        assert [e["level"] for e in events] == list(range(1, 7))
+        assert all(e["method"] == "fpras" for e in events)
+
+    def test_montecarlo_progress_waves_and_identical_estimate(self):
+        from repro.counting.api import count_with_progress
+
+        nfa = no_consecutive_ones_nfa()
+        request = CountRequest(
+            method="montecarlo", seed=SEED, options={"num_samples": 100}
+        )
+        events = []
+        streamed = count_with_progress(nfa, 6, request, events.append)
+        direct = dispatch(nfa, 6, request)
+        assert streamed.estimate == direct.estimate
+        assert events and events[-1]["samples"] == 100
+        assert all(e["method"] == "montecarlo" for e in events)
+
+    def test_unsupported_method_rejected(self):
+        from repro.counting.api import count_with_progress
+
+        with pytest.raises(CountingMethodError) as excinfo:
+            count_with_progress(
+                no_consecutive_ones_nfa(), 6, CountRequest(method="exact"), print
+            )
+        assert "progress" in str(excinfo.value)
+
+    def test_unknown_options_still_rejected(self):
+        from repro.counting.api import count_with_progress
+
+        with pytest.raises(CountingMethodError):
+            count_with_progress(
+                no_consecutive_ones_nfa(),
+                6,
+                CountRequest(method="fpras", options={"bogus": 1}),
+                print,
+            )

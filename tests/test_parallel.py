@@ -394,3 +394,239 @@ def test_cli_rejects_workers_on_unsupported_method(capsys):
     )
     assert code == 2
     assert "does not support sharded" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Worker-crash handling
+# ----------------------------------------------------------------------
+def _alive_worker_pids():
+    """PIDs of this process's live multiprocessing children."""
+    import multiprocessing
+
+    return [p.pid for p in multiprocessing.active_children() if p.is_alive()]
+
+
+def test_pool_reports_sigkilled_worker_with_exit_code():
+    """A SIGKILL'd worker raises WorkerCrashError naming worker and signal."""
+    import os
+    import signal
+
+    from repro.counting.parallel import _WorkerPool
+    from repro.errors import WorkerCrashError
+
+    pool = _WorkerPool(2)
+    try:
+        victim = pool._processes[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5.0)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            pool._send(0, ("ping",))
+            pool._receive(0)
+        message = str(excinfo.value)
+        assert "worker 0" in message
+        assert str(victim.pid) in message
+        assert f"exit code {-signal.SIGKILL}" in message
+        # The survivor still answers: the pool is not poisoned wholesale.
+        pool._send(1, ("ping",))
+        assert pool._receive(1) is None
+    finally:
+        pool.close()
+    assert not any(p.is_alive() for p in pool._processes)
+
+
+def test_pool_close_reaps_survivors_after_crash():
+    """close() after a crash leaves no orphan worker processes behind."""
+    import os
+    import signal
+
+    from repro.counting.parallel import _WorkerPool
+    from repro.errors import WorkerCrashError
+
+    before = set(_alive_worker_pids())
+    pool = _WorkerPool(3)
+    os.kill(pool._processes[1].pid, signal.SIGKILL)
+    with pytest.raises(WorkerCrashError):
+        pool.broadcast(("ping",))
+    pool.close()
+    leaked = set(_alive_worker_pids()) - before
+    assert not leaked, f"orphan workers left running: {leaked}"
+
+
+def test_fpras_run_surfaces_mid_run_worker_death(substring_101_nfa, monkeypatch):
+    """A worker dying mid-task fails the run cleanly, not with EOFError.
+
+    The fork start method means children inherit this monkeypatched
+    ``_run_shard``, so the worker exits hard the moment it is handed work —
+    exactly the OOM-kill shape the coordinator must survive.
+    """
+    import os
+
+    from repro.counting import parallel
+    from repro.errors import WorkerCrashError
+
+    def _die(*args, **kwargs):
+        os._exit(13)
+
+    monkeypatch.setattr(parallel, "_run_shard", _die)
+    params = FPRASParameters(epsilon=0.5, scale=SCALE)
+    with pytest.raises(WorkerCrashError) as excinfo:
+        run_fpras_sharded(
+            substring_101_nfa, 6, params, workers=2, shards=2, seed=11
+        )
+    assert "exit code 13" in str(excinfo.value)
+    assert not _alive_worker_pids()
+
+
+def test_crash_error_is_catchable_as_counting_method_error(
+    substring_101_nfa, monkeypatch
+):
+    import os
+
+    from repro.counting import parallel
+
+    monkeypatch.setattr(parallel, "_run_shard", lambda *a, **k: os._exit(7))
+    params = FPRASParameters(epsilon=0.5, scale=SCALE)
+    with pytest.raises(CountingMethodError):
+        run_fpras_sharded(
+            substring_101_nfa, 6, params, workers=2, shards=2, seed=11
+        )
+
+
+# ----------------------------------------------------------------------
+# CPU detection
+# ----------------------------------------------------------------------
+def test_resolve_workers_prefers_sched_getaffinity(monkeypatch):
+    """--workers 0 sizes by the affinity mask, not the raw CPU count."""
+    import os
+
+    if not hasattr(os, "sched_getaffinity"):  # pragma: no cover - non-Linux
+        pytest.skip("sched_getaffinity not available on this platform")
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+    monkeypatch.setattr("multiprocessing.cpu_count", lambda: 64)
+    assert resolve_workers(0) == 3
+
+
+def test_resolve_workers_falls_back_to_cpu_count(monkeypatch):
+    import multiprocessing
+    import os
+
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(multiprocessing, "cpu_count", lambda: 5)
+    assert resolve_workers(0) == 5
+
+
+def test_resolve_workers_survives_affinity_oserror(monkeypatch):
+    import multiprocessing
+    import os
+
+    if not hasattr(os, "sched_getaffinity"):  # pragma: no cover - non-Linux
+        pytest.skip("sched_getaffinity not available on this platform")
+
+    def _boom(pid):
+        raise OSError("no affinity for you")
+
+    monkeypatch.setattr(os, "sched_getaffinity", _boom)
+    monkeypatch.setattr(multiprocessing, "cpu_count", lambda: 4)
+    assert resolve_workers(0) == 4
+
+
+# ----------------------------------------------------------------------
+# Pool reuse (WorkerPoolManager)
+# ----------------------------------------------------------------------
+def test_pool_manager_reuses_pools_across_runs(substring_101_nfa):
+    from repro.counting.parallel import WorkerPoolManager
+
+    params = FPRASParameters(epsilon=0.5, scale=SCALE)
+    with WorkerPoolManager() as manager:
+        first, _ = run_fpras_sharded(
+            substring_101_nfa, 6, params,
+            workers=2, shards=2, seed=11, pool_manager=manager,
+        )
+        second, _ = run_fpras_sharded(
+            substring_101_nfa, 6, params,
+            workers=2, shards=2, seed=11, pool_manager=manager,
+        )
+        snapshot = manager.snapshot()
+        assert snapshot["created"] == 1
+        assert snapshot["reused"] == 1
+        assert snapshot["idle"] == 1
+    assert first.estimate == second.estimate
+
+
+def test_pool_manager_estimates_match_unmanaged_runs(substring_101_nfa):
+    """Leased warm pools change wall-time, never the estimate."""
+    from repro.counting.parallel import WorkerPoolManager
+
+    params = FPRASParameters(epsilon=0.5, scale=SCALE)
+    plain, _ = run_fpras_sharded(
+        substring_101_nfa, 6, params, workers=2, shards=2, seed=11
+    )
+    with WorkerPoolManager() as manager:
+        warm, _ = run_fpras_sharded(
+            substring_101_nfa, 6, params,
+            workers=2, shards=2, seed=11, pool_manager=manager,
+        )
+        again, _ = run_fpras_sharded(
+            substring_101_nfa, 6, params,
+            workers=2, shards=2, seed=11, pool_manager=manager,
+        )
+    assert warm.estimate == plain.estimate
+    assert again.estimate == plain.estimate
+    assert {k: getattr(warm, k) for k in WORK_KEYS} == {
+        k: getattr(plain, k) for k in WORK_KEYS
+    }
+
+
+def test_pool_manager_discards_pool_after_failed_run(
+    substring_101_nfa, monkeypatch
+):
+    """A crashed run's pool is never handed to the next request."""
+    import os
+
+    from repro.counting import parallel
+    from repro.counting.parallel import WorkerPoolManager
+    from repro.errors import WorkerCrashError
+
+    params = FPRASParameters(epsilon=0.5, scale=SCALE)
+    with WorkerPoolManager() as manager:
+        monkeypatch.setattr(parallel, "_run_shard", lambda *a, **k: os._exit(9))
+        with pytest.raises(WorkerCrashError):
+            run_fpras_sharded(
+                substring_101_nfa, 6, params,
+                workers=2, shards=2, seed=11, pool_manager=manager,
+            )
+        monkeypatch.undo()
+        assert manager.snapshot()["idle"] == 0
+        assert manager.snapshot()["discarded"] == 1
+        # The next run simply forks a fresh pool and succeeds.
+        result, _ = run_fpras_sharded(
+            substring_101_nfa, 6, params,
+            workers=2, shards=2, seed=11, pool_manager=manager,
+        )
+        assert result.estimate > 0
+
+
+def test_install_pool_manager_round_trip(substring_101_nfa):
+    from repro.counting import parallel
+    from repro.counting.parallel import WorkerPoolManager, install_pool_manager
+
+    manager = WorkerPoolManager()
+    previous = install_pool_manager(manager)
+    try:
+        report = _fpras(substring_101_nfa, 6, workers=2, shards=2)
+        again = _fpras(substring_101_nfa, 6, workers=2, shards=2)
+        assert report.estimate == again.estimate
+        assert manager.snapshot()["created"] == 1
+        assert manager.snapshot()["reused"] == 1
+    finally:
+        assert install_pool_manager(previous) is manager
+        manager.close()
+    assert parallel._ACTIVE_POOL_MANAGER is previous
+
+
+def test_pool_manager_validates_max_idle():
+    from repro.counting.parallel import WorkerPoolManager
+
+    for bad in (-1, 1.5, True):
+        with pytest.raises(CountingMethodError):
+            WorkerPoolManager(max_idle_per_size=bad)

@@ -1,10 +1,11 @@
-"""Emit a machine-readable performance snapshot (``BENCH_5.json``).
+"""Emit a machine-readable performance snapshot (``BENCH_6.json``).
 
 CI has always *run* the smoke benchmarks and then thrown the numbers away;
 this tool is the persistence half of the performance-tracking pipeline: it
 times a fixed set of smoke-scale workloads spanning the hot paths (serial
 FPRAS, the numpy block backend, batched Monte-Carlo, the sharded parallel
-executor, the exact DP reference) and writes one JSON document with
+executor, the exact DP reference, and the HTTP serving layer's cold-vs-
+cached ``POST /count`` path) and writes one JSON document with
 per-benchmark median wall times plus the interesting speedup ratios, the
 seed, and the python/numpy versions.  The ``smoke-benchmarks`` CI job
 uploads the file as an artifact per run, so the bench trajectory
@@ -12,11 +13,15 @@ accumulates and a PR's effect on the hot paths is a download away.
 
 Every workload is seeded (:data:`SEED`), so estimate drift across runs of
 the same commit indicates a determinism bug, not noise; wall times are
-medians over ``--repeats`` runs on a warm engine registry.
+medians over ``--repeats`` runs on a warm engine registry.  The serving
+workloads run against a real :class:`~repro.serve.server.CountingServer`
+on an ephemeral localhost port; cold requests vary the seed so every call
+misses the content-addressed cache, cached requests repeat one seed so
+every call after the first hits it.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_report.py --output BENCH_5.json
+    PYTHONPATH=src python tools/bench_report.py --output BENCH_6.json
 """
 
 from __future__ import annotations
@@ -130,6 +135,78 @@ def _workloads() -> List[Dict[str, object]]:
     return workloads
 
 
+def _serve_benchmarks(repeats: int) -> Tuple[List[Dict[str, object]], Dict[str, float]]:
+    """Time the serving layer: cold ``POST /count`` vs content-cache hits.
+
+    Cold calls use a fresh seed per request (guaranteed cache miss, a full
+    counting run each time); cached calls repeat one seed, so after a
+    warm-up request every timed call is answered from the result cache
+    without running a trial.  Returns the benchmark entries plus the
+    cache-hit counters observed at the server.
+    """
+    import urllib.request
+
+    from repro.automata.serialization import nfa_to_dict
+    from repro.serve import CountingServer
+
+    document = nfa_to_dict(divisibility_nfa(48))
+
+    def post(server: "CountingServer", seed: int) -> object:
+        body = json.dumps(
+            {
+                "automaton": document,
+                "length": 10,
+                "method": "fpras",
+                "epsilon": 0.4,
+                "seed": seed,
+            }
+        ).encode("utf-8")
+        request = urllib.request.Request(server.url + "/count", data=body)
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return json.loads(response.read())
+
+    entries: List[Dict[str, object]] = []
+    with CountingServer(port=0) as server:
+        # Disjoint from the cached workload's seed so every call here misses.
+        cold_seeds = iter(range(SEED + 1, SEED + 1 + repeats))
+        cold_seconds, cold_reply = _time_call(
+            lambda: post(server, next(cold_seeds)), repeats
+        )
+        entries.append(
+            {
+                "name": "serve_count_cold",
+                "params": {"family": "divisibility(48)", "length": 10,
+                           "epsilon": 0.4, "cache": "miss"},
+                "median_seconds": cold_seconds,
+                "repeats": repeats,
+                "estimate": cold_reply["estimate"],
+                "backend": cold_reply["backend"],
+            }
+        )
+        post(server, SEED)  # warm the cache line the cached workload repeats
+        cached_seconds, cached_reply = _time_call(
+            lambda: post(server, SEED), repeats
+        )
+        entries.append(
+            {
+                "name": "serve_count_cached",
+                "params": {"family": "divisibility(48)", "length": 10,
+                           "epsilon": 0.4, "cache": "hit"},
+                "median_seconds": cached_seconds,
+                "repeats": repeats,
+                "estimate": cached_reply["estimate"],
+                "backend": cached_reply["backend"],
+            }
+        )
+        stats = server.stats()
+    counters = {
+        "cache_hits": stats["counters"]["cache_hits"],
+        "cache_misses": stats["counters"]["cache_misses"],
+        "counting_runs": stats["counters"]["counting_runs"],
+    }
+    return entries, counters
+
+
 def build_report(repeats: int) -> Dict[str, object]:
     """Time every workload and assemble the JSON document."""
     benchmarks = []
@@ -147,7 +224,15 @@ def build_report(repeats: int) -> Dict[str, object]:
                 "backend": getattr(report, "backend", None),
             }
         )
+    serve_entries, serve_counters = _serve_benchmarks(repeats)
+    for entry in serve_entries:
+        medians[entry["name"]] = entry["median_seconds"]
+    benchmarks.extend(serve_entries)
     ratios = {}
+    if medians.get("serve_count_cached"):
+        ratios["serve_cache_speedup"] = (
+            medians["serve_count_cold"] / medians["serve_count_cached"]
+        )
     if medians.get("fpras_sharded_pool"):
         ratios["fpras_parallel_speedup_4_workers"] = (
             medians["fpras_sharded_serial"] / medians["fpras_sharded_pool"]
@@ -170,15 +255,16 @@ def build_report(repeats: int) -> Dict[str, object]:
         "cpu_count": multiprocessing.cpu_count(),
         "benchmarks": benchmarks,
         "ratios": ratios,
+        "serve": serve_counters,
     }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the smoke-scale benchmarks and write BENCH_5.json"
+        description="Run the smoke-scale benchmarks and write BENCH_6.json"
     )
     parser.add_argument(
-        "--output", default="BENCH_5.json", help="output path (default: %(default)s)"
+        "--output", default="BENCH_6.json", help="output path (default: %(default)s)"
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
