@@ -1,0 +1,304 @@
+"""Manifest diffing: the speed-regression and accuracy-drift gate.
+
+Two manifests from :mod:`repro.audit.manifest` — typically the previous
+CI run's and this run's — are joined scenario-by-scenario on their stable
+ids and compared along four axes:
+
+* **speed** — a scenario's median wall time grew beyond the threshold
+  (default 25%), ignoring sub-floor timings where scheduler noise dominates;
+* **accuracy** — a scenario with ground truth has an observed relative
+  error past its ``epsilon`` bound (the guarantee itself is violated);
+* **accuracy drift** — a seed-sweep group's *epsilon utilisation* (max
+  relative error divided by ``epsilon``) is both high in absolute terms
+  and materially worse than the old manifest's, i.e. the estimator is
+  creeping toward the cliff edge even though no single run has fallen off;
+* **delta coverage** — the fraction of seeds in a group that fell outside
+  the multiplicative guarantee exceeds the group's ``delta`` target.
+
+Scenarios present in the old manifest but missing from the new one are
+**coverage** regressions (a gate you can silently shrink is not a gate);
+newly added scenarios are reported as notes.  The result is a
+:class:`ManifestDiff` whose :attr:`~ManifestDiff.ok` drives the
+``repro audit-diff`` exit code.
+
+>>> from repro.audit.manifest import run_matrix
+>>> spec = {"families": [{"family": "parity", "args": {}, "lengths": [6]}],
+...         "methods": ["fpras"], "seeds": [1, 2],
+...         "accuracy": [{"epsilon": 0.5, "delta": 0.2}],
+...         "scale": {"sample_cap": 8, "union_trial_cap": 8}}
+>>> manifest = run_matrix(spec)
+>>> diff_manifests(manifest, manifest).ok  # identical manifests pass
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import AuditError
+
+#: Regression kinds a diff can report, in severity order.
+REGRESSION_KINDS = ("accuracy", "delta-coverage", "accuracy-drift", "speed", "coverage")
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Tunable gate thresholds (the defaults are what CI enforces).
+
+    Attributes
+    ----------
+    speed_regression:
+        Allowed fractional wall-time growth per scenario; ``0.25`` flags a
+        scenario that got more than 25% slower.
+    min_seconds:
+        Timings where *both* sides are below this floor are never speed
+        regressions — at sub-5ms scale the signal is scheduler noise.
+    drift_floor:
+        Epsilon-utilisation level below which drift is never flagged; an
+        estimator using 30% of its error budget is not "creeping toward
+        the bound" however it moves.
+    drift_tolerance:
+        Once above the floor, the absolute utilisation increase over the
+        old manifest that flags accuracy drift.
+    delta_slack:
+        Additive slack on the failure-fraction check (``fraction >
+        delta + slack`` fails); zero by default — the guarantee is the gate.
+    """
+
+    speed_regression: float = 0.25
+    min_seconds: float = 0.005
+    drift_floor: float = 0.8
+    drift_tolerance: float = 0.1
+    delta_slack: float = 0.0
+
+
+@dataclass
+class Regression:
+    """One gate violation found by :func:`diff_manifests`."""
+
+    kind: str
+    subject: str
+    message: str
+    old_value: Optional[float] = None
+    new_value: Optional[float] = None
+
+    def format(self) -> str:
+        """The violation as one human-readable report line."""
+        return f"[{self.kind}] {self.subject}: {self.message}"
+
+
+@dataclass
+class ManifestDiff:
+    """The outcome of comparing two manifests."""
+
+    regressions: List[Regression] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the new manifest passes the gate (no regressions)."""
+        return not self.regressions
+
+    def format(self) -> str:
+        """A multi-line textual report (regressions first, then notes)."""
+        lines: List[str] = []
+        if self.regressions:
+            lines.append(f"{len(self.regressions)} regression(s):")
+            order = {kind: rank for rank, kind in enumerate(REGRESSION_KINDS)}
+            for regression in sorted(
+                self.regressions, key=lambda r: (order.get(r.kind, 99), r.subject)
+            ):
+                lines.append("  " + regression.format())
+        else:
+            lines.append("no regressions: new manifest is within thresholds")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _records_by_id(manifest: Mapping[str, object]) -> Dict[str, Mapping[str, object]]:
+    """Index a manifest's scenario records by their stable ids."""
+    return {record["id"]: record for record in manifest["scenarios"]}
+
+
+def _check_speed(
+    old: Mapping[str, object],
+    new: Mapping[str, object],
+    thresholds: DiffThresholds,
+    diff: ManifestDiff,
+) -> None:
+    """Flag a scenario whose median wall time grew past the threshold."""
+    old_seconds = old["elapsed_seconds"]
+    new_seconds = new["elapsed_seconds"]
+    if max(old_seconds, new_seconds) < thresholds.min_seconds:
+        return
+    limit = old_seconds * (1.0 + thresholds.speed_regression)
+    if new_seconds > limit and new_seconds - old_seconds >= thresholds.min_seconds:
+        ratio = new_seconds / old_seconds if old_seconds else float("inf")
+        diff.regressions.append(
+            Regression(
+                kind="speed",
+                subject=new["id"],
+                message=(
+                    f"median wall time {old_seconds:.4f}s -> {new_seconds:.4f}s "
+                    f"({ratio:.2f}x, threshold "
+                    f"{1.0 + thresholds.speed_regression:.2f}x)"
+                ),
+                old_value=old_seconds,
+                new_value=new_seconds,
+            )
+        )
+
+
+def _check_accuracy(new: Mapping[str, object], diff: ManifestDiff) -> None:
+    """Flag a scenario whose observed relative error broke its epsilon bound.
+
+    Only methods that *define* a guarantee are hard-gated: exact methods
+    must match ground truth bit-for-bit, and methods whose report carries
+    an ``epsilon`` (fpras, acjr) must stay inside the multiplicative bound.
+    No-guarantee baselines (montecarlo) are recorded in the manifest but
+    never fail this check — their drift shows up in the group summaries.
+    """
+    error = new["relative_error"]
+    if error is None:
+        return
+    if new["spec"]["method"] in ("bruteforce", "exact"):
+        if error != 0:
+            diff.regressions.append(
+                Regression(
+                    kind="accuracy",
+                    subject=new["id"],
+                    message=f"exact method disagrees with ground truth "
+                    f"(relative error {error:.4g})",
+                    new_value=error,
+                )
+            )
+        return
+    epsilon = (new.get("report") or {}).get("epsilon")
+    if epsilon is None:
+        return
+    if new["within_epsilon"] is False or error > epsilon:
+        diff.regressions.append(
+            Regression(
+                kind="accuracy",
+                subject=new["id"],
+                message=(
+                    f"relative error {error:.4g} exceeds the epsilon bound "
+                    f"{epsilon:.4g} (estimate {new['estimate']!r} vs exact "
+                    f"{new['exact']!r})"
+                ),
+                new_value=error,
+            )
+        )
+
+
+def _guaranteed(group: Mapping[str, object]) -> bool:
+    """Whether a summary group's method carries an (epsilon, delta) guarantee."""
+    return group.get("method") in ("fpras", "acjr")
+
+
+def _check_groups(
+    old_summary: Mapping[str, object],
+    new_summary: Mapping[str, object],
+    thresholds: DiffThresholds,
+    diff: ManifestDiff,
+) -> None:
+    """Per seed-sweep group: delta coverage and epsilon-utilisation drift."""
+    old_groups = old_summary.get("groups") or {}
+    for name, group in (new_summary.get("groups") or {}).items():
+        if not _guaranteed(group):
+            continue
+        fraction = group.get("failure_fraction")
+        delta = group.get("delta")
+        if fraction is not None and delta is not None:
+            if fraction > delta + thresholds.delta_slack:
+                diff.regressions.append(
+                    Regression(
+                        kind="delta-coverage",
+                        subject=name,
+                        message=(
+                            f"failure fraction {fraction:.3f} over "
+                            f"{group['with_ground_truth']} seeds exceeds the "
+                            f"delta target {delta:.3f}"
+                        ),
+                        new_value=fraction,
+                    )
+                )
+        utilisation = group.get("epsilon_utilisation")
+        if utilisation is None or utilisation <= thresholds.drift_floor:
+            continue
+        old_group = old_groups.get(name) or {}
+        old_utilisation = old_group.get("epsilon_utilisation")
+        baseline = old_utilisation if old_utilisation is not None else thresholds.drift_floor
+        if utilisation > baseline + thresholds.drift_tolerance:
+            diff.regressions.append(
+                Regression(
+                    kind="accuracy-drift",
+                    subject=name,
+                    message=(
+                        f"epsilon utilisation {utilisation:.3f} "
+                        f"(was {old_utilisation if old_utilisation is not None else 'n/a'}) "
+                        f"is creeping toward the bound "
+                        f"(floor {thresholds.drift_floor}, tolerance "
+                        f"+{thresholds.drift_tolerance})"
+                    ),
+                    old_value=old_utilisation,
+                    new_value=utilisation,
+                )
+            )
+
+
+def diff_manifests(
+    old: Mapping[str, object],
+    new: Mapping[str, object],
+    thresholds: Optional[DiffThresholds] = None,
+) -> ManifestDiff:
+    """Compare two manifests and report every gate violation.
+
+    ``old`` is the baseline (the previous run), ``new`` the candidate.
+    Both documents must be valid manifests (callers loading from disk get
+    validation via :func:`~repro.audit.manifest.load_manifest`).  Fails
+    closed on structure: malformed records raise :class:`AuditError`
+    rather than silently passing.
+    """
+    thresholds = thresholds if thresholds is not None else DiffThresholds()
+    try:
+        old_records = _records_by_id(old)
+        new_records = _records_by_id(new)
+    except (KeyError, TypeError) as error:
+        raise AuditError(f"manifest is missing scenario structure: {error}") from error
+    diff = ManifestDiff()
+
+    for scenario_id, old_record in old_records.items():
+        if scenario_id not in new_records:
+            diff.regressions.append(
+                Regression(
+                    kind="coverage",
+                    subject=scenario_id,
+                    message="scenario present in the baseline is missing from "
+                    "the new manifest (the gate must not silently shrink)",
+                )
+            )
+    for scenario_id in new_records:
+        if scenario_id not in old_records:
+            diff.notes.append(f"new scenario {scenario_id} (no baseline to compare)")
+
+    for scenario_id, new_record in new_records.items():
+        _check_accuracy(new_record, diff)
+        old_record = old_records.get(scenario_id)
+        if old_record is not None:
+            _check_speed(old_record, new_record, thresholds, diff)
+
+    _check_groups(
+        old.get("summary") or {}, new.get("summary") or {}, thresholds, diff
+    )
+
+    old_env, new_env = old.get("environment") or {}, new.get("environment") or {}
+    for key in ("python", "numpy", "platform", "git_revision"):
+        if old_env.get(key) != new_env.get(key):
+            diff.notes.append(
+                f"environment {key} changed: "
+                f"{old_env.get(key)!r} -> {new_env.get(key)!r}"
+            )
+    return diff

@@ -8,6 +8,8 @@ Sub-commands
 ``families``   list the available structured NFA families;
 ``methods``    list the registered counting methods;
 ``serve``      start the counting HTTP server (:mod:`repro.serve`);
+``audit``      run a declarative scenario matrix into an audit manifest;
+``audit-diff`` gate one manifest against a baseline (speed + accuracy drift);
 ``params``     print the paper vs operational FPRAS parameters for (m, n, eps).
 
 All counting goes through the unified façade
@@ -184,6 +186,57 @@ def _cmd_methods(_args: argparse.Namespace) -> int:
     ]
     print(format_table(rows, title="registered counting methods"))
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    # Imported lazily: the audit pipeline is only paid for when used.
+    import json
+
+    from repro.audit import DEFAULT_MATRIX, run_matrix, write_manifest
+
+    if args.matrix is not None:
+        with open(args.matrix, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    else:
+        spec = DEFAULT_MATRIX
+    manifest = run_matrix(spec, repeats=args.repeats)
+    path = write_manifest(manifest, args.output, overwrite=args.force)
+    summary = manifest["summary"]
+    rows = []
+    for name, group in summary["groups"].items():
+        rows.append(
+            {
+                "group": name,
+                "seeds": group["count"],
+                "max_rel_error": group["max_relative_error"],
+                "eps_util": group["epsilon_utilisation"],
+                "fail_frac": group["failure_fraction"],
+                "delta": group["delta"],
+            }
+        )
+    print(format_table(rows, title="audit manifest: per-group accuracy summary"))
+    print(
+        f"wrote {path} ({summary['scenario_count']} scenarios, "
+        f"{summary['total_elapsed_seconds']:.2f}s counting time)"
+    )
+    return 0
+
+
+def _cmd_audit_diff(args: argparse.Namespace) -> int:
+    from repro.audit import DiffThresholds, diff_manifests, load_manifest
+
+    thresholds = DiffThresholds(
+        speed_regression=args.speed_threshold,
+        min_seconds=args.min_seconds,
+        drift_floor=args.drift_floor,
+        drift_tolerance=args.drift_tolerance,
+        delta_slack=args.delta_slack,
+    )
+    diff = diff_manifests(
+        load_manifest(args.old), load_manifest(args.new), thresholds
+    )
+    print(diff.format())
+    return 0 if diff.ok else 1
 
 
 def _cmd_params(args: argparse.Namespace) -> int:
@@ -365,6 +418,82 @@ def build_parser() -> argparse.ArgumentParser:
         "does not say (default: 1; pools persist across requests)",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    audit = subparsers.add_parser(
+        "audit",
+        help="run a declarative scenario matrix and write an audit manifest",
+    )
+    audit.add_argument(
+        "--matrix",
+        default=None,
+        metavar="SPEC.json",
+        help="matrix spec file (default: the built-in smoke matrix)",
+    )
+    audit.add_argument(
+        "--output",
+        "-o",
+        default=".",
+        help="manifest file, or a directory to drop a content-addressed "
+        "manifest-<rev>-<digest>.json into (default: current directory)",
+    )
+    audit.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repetitions per scenario; the median wall time is "
+        "recorded (default: %(default)s)",
+    )
+    audit.add_argument(
+        "--force",
+        action="store_true",
+        help="allow overwriting an existing manifest file (manifests are "
+        "append-only by default)",
+    )
+    audit.set_defaults(handler=_cmd_audit)
+
+    audit_diff = subparsers.add_parser(
+        "audit-diff",
+        help="compare two audit manifests; non-zero exit on speed or "
+        "accuracy regressions",
+    )
+    audit_diff.add_argument("old", help="baseline manifest (the previous run)")
+    audit_diff.add_argument("new", help="candidate manifest (this run)")
+    audit_diff.add_argument(
+        "--speed-threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-time growth per scenario "
+        "(default: %(default)s)",
+    )
+    audit_diff.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        help="wall-time floor below which speed changes are noise "
+        "(default: %(default)s)",
+    )
+    audit_diff.add_argument(
+        "--drift-floor",
+        type=float,
+        default=0.8,
+        help="epsilon-utilisation level below which drift is never flagged "
+        "(default: %(default)s)",
+    )
+    audit_diff.add_argument(
+        "--drift-tolerance",
+        type=float,
+        default=0.1,
+        help="utilisation increase over the baseline that flags drift "
+        "(default: %(default)s)",
+    )
+    audit_diff.add_argument(
+        "--delta-slack",
+        type=float,
+        default=0.0,
+        help="additive slack on the delta-coverage failure fraction "
+        "(default: %(default)s)",
+    )
+    audit_diff.set_defaults(handler=_cmd_audit_diff)
 
     params = subparsers.add_parser("params", help="show paper vs operational parameters")
     params.add_argument("--states", "-m", type=int, default=10)

@@ -418,6 +418,39 @@ class CountReport:
             return self.estimate == 0
         return exact / (1.0 + self.epsilon) <= self.estimate <= exact * (1.0 + self.epsilon)
 
+    def audit_summary(self) -> Dict[str, object]:
+        """The compact, JSON-representable summary audit manifests record.
+
+        Everything a later reader needs to audit the run — estimate,
+        method, instance size, wall time, backend, accuracy targets,
+        engine-counter deltas and the normalised per-method diagnostics —
+        without the heavyweight ``raw`` state tables :meth:`to_dict`
+        carries.  Used by :mod:`repro.audit.manifest` as the per-scenario
+        ``report`` block.
+
+        >>> from repro.automata.families import no_consecutive_ones_nfa
+        >>> summary = count(no_consecutive_ones_nfa(), 5, method="exact").audit_summary()
+        >>> summary["estimate"], summary["exact"]
+        (13.0, True)
+        """
+        bounds = self.error_bounds()
+        return {
+            "estimate": self.estimate,
+            "method": self.method,
+            "length": self.length,
+            "num_states": self.num_states,
+            "elapsed_seconds": self.elapsed_seconds,
+            "backend": self.backend,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "exact": self.exact,
+            "error_bounds": list(bounds) if bounds is not None else None,
+            "engine_counters": {
+                str(key): value for key, value in self.engine_counters.items()
+            },
+            "details": _plain_value(self.details),
+        }
+
     def to_dict(self) -> Dict[str, object]:
         """A lossless, JSON-serialisable form of the report.
 
@@ -1076,6 +1109,7 @@ class CountingSession:
                 f"pinned method {method!r}"
             )
         self._reports: List[CountReport] = []
+        self._observers: List[Callable[..., None]] = []
 
     # ------------------------------------------------------------------
     @property
@@ -1125,12 +1159,34 @@ class CountingSession:
             request = replace(request, workers=1)
         return request
 
+    # ------------------------------------------------------------------
+    # Manifest hooks: the audit pipeline observes sessions through these.
+    def add_observer(self, observer: Callable[..., None]) -> Callable[[], None]:
+        """Register a callback invoked after every completed count.
+
+        The observer is called as ``observer(nfa, length, request, report)``
+        on the calling thread, after the report is recorded — this is the
+        hook :class:`repro.audit.manifest.ManifestBuilder` attaches through
+        to capture a session's runs into an audit manifest without changing
+        any call site.  Returns a zero-argument detach function.
+        """
+        self._observers.append(observer)
+
+        def detach() -> None:
+            if observer in self._observers:
+                self._observers.remove(observer)
+
+        return detach
+
     def count(
         self, nfa: NFA, length: int, method: Optional[str] = None, **overrides: object
     ) -> CountReport:
         """Count one instance through the registry with the pinned knobs."""
-        report = dispatch(nfa, length, self.request(method, **overrides))
+        request = self.request(method, **overrides)
+        report = dispatch(nfa, length, request)
         self._reports.append(report)
+        for observer in list(self._observers):
+            observer(nfa, length, request, report)
         return report
 
     def sampler(

@@ -75,5 +75,15 @@ class ReductionError(ReproError):
     """Raised when an application-level reduction to #NFA cannot be built."""
 
 
+class AuditError(ReproError):
+    """Raised when an audit manifest is invalid or an audit run is misused.
+
+    Covers schema violations in :mod:`repro.audit.manifest` documents,
+    malformed scenario-matrix specs in :mod:`repro.audit.scenarios`, and
+    attempts to overwrite an existing manifest (manifests are append-only
+    by contract: nothing is overwritten, everything stays auditable).
+    """
+
+
 class ExperimentError(ReproError):
     """Raised by the harness when an experiment is misconfigured."""

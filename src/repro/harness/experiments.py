@@ -460,6 +460,53 @@ def run_uniformity(
 
 
 # ----------------------------------------------------------------------
+# E8 — the audited scenario matrix (declarative, manifest-backed)
+# ----------------------------------------------------------------------
+def run_audit_matrix(
+    quick: bool = True,
+    seed: Optional[int] = None,
+    **_ignored: object,
+) -> ExperimentResult:
+    """Run the declarative audit matrix and tabulate its per-group summary.
+
+    Unlike E1-E7, whose sweeps are hand-rolled loops, this experiment *is*
+    the declarative pipeline: the matrix spec from
+    :data:`repro.audit.scenarios.DEFAULT_MATRIX` is expanded factorially,
+    executed through the unified facade, and summarised exactly as the CI
+    manifest records it — so ``repro experiment E8`` shows locally what the
+    audit gate will see.  ``quick`` trims the seed sweep to two seeds.
+    """
+    from repro.audit import DEFAULT_MATRIX, run_matrix
+
+    result = ExperimentResult(
+        experiment="E8",
+        description="audited scenario matrix (method x family x seed, manifest summary)",
+    )
+    start = time.perf_counter()
+    spec = dict(DEFAULT_MATRIX)
+    if quick:
+        spec["seeds"] = list(spec["seeds"])[:2]
+    if seed is not None:
+        spec["seeds"] = [seed + offset for offset in range(len(spec["seeds"]))]
+    manifest = run_matrix(spec)
+    for name, group in manifest["summary"]["groups"].items():
+        result.add_row(
+            group=name,
+            seeds=group["count"],
+            max_rel_error=group["max_relative_error"],
+            eps_utilisation=group["epsilon_utilisation"],
+            failure_fraction=group["failure_fraction"],
+            delta=group["delta"],
+        )
+    result.add_note(
+        "rows mirror the manifest summary the CI audit gate diffs; "
+        "run `repro audit` to persist the full manifest."
+    )
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 EXPERIMENTS: Dict[str, ExperimentRunner] = {
@@ -470,6 +517,7 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "E5": run_scaling_epsilon,
     "E6": run_applications,
     "E7": run_uniformity,
+    "E8": run_audit_matrix,
 }
 
 

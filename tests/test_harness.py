@@ -55,7 +55,7 @@ class TestReporting:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert set(EXPERIMENTS) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7"}
+        assert set(EXPERIMENTS) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
 
     def test_get_experiment_case_insensitive(self):
         assert get_experiment("e1") is EXPERIMENTS["E1"]

@@ -1,60 +1,99 @@
-"""Emit a machine-readable performance snapshot (``BENCH_6.json``).
+"""Emit a machine-readable performance snapshot (``BENCH_7.json``).
 
-CI has always *run* the smoke benchmarks and then thrown the numbers away;
-this tool is the persistence half of the performance-tracking pipeline: it
-times a fixed set of smoke-scale workloads spanning the hot paths (serial
-FPRAS, the numpy block backend, batched Monte-Carlo, the sharded parallel
-executor, the exact DP reference, and the HTTP serving layer's cold-vs-
-cached ``POST /count`` path) and writes one JSON document with
-per-benchmark median wall times plus the interesting speedup ratios, the
-seed, and the python/numpy versions.  The ``smoke-benchmarks`` CI job
-uploads the file as an artifact per run, so the bench trajectory
-accumulates and a PR's effect on the hot paths is a download away.
+Since PR 7 the bench report *is* an audit manifest: the counting workloads
+are declared as scenario-matrix specs (:mod:`repro.audit.scenarios`) and
+executed through the manifest pipeline (:mod:`repro.audit.manifest`), so
+the emitted document carries the full audit trail — git revision,
+python/numpy versions, per-scenario workload fingerprints, estimates vs.
+exact ground truth, observed relative error, median wall times and
+engine-counter deltas — and two consecutive ``BENCH_7.json`` artifacts can
+be gated with ``repro audit-diff`` exactly like the CI audit manifests.
+The serving-layer benchmarks (cold vs. cached ``POST /count`` against a
+real :class:`~repro.serve.server.CountingServer`) and the headline speedup
+ratios ride along in a ``bench`` extras section.
 
 Every workload is seeded (:data:`SEED`), so estimate drift across runs of
 the same commit indicates a determinism bug, not noise; wall times are
-medians over ``--repeats`` runs on a warm engine registry.  The serving
-workloads run against a real :class:`~repro.serve.server.CountingServer`
-on an ephemeral localhost port; cold requests vary the seed so every call
-misses the content-addressed cache, cached requests repeat one seed so
-every call after the first hits it.
+medians over ``--repeats`` runs on a warm engine registry.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_report.py --output BENCH_6.json
+    PYTHONPATH=src python tools/bench_report.py --output BENCH_7.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import multiprocessing
-import platform
 import sys
 import time
 from statistics import median
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.automata.families import divisibility_nfa, substring_nfa
-from repro.counting.api import count
-from repro.counting.params import ParameterScale
-
-#: Schema version of the emitted document (bump on incompatible changes).
-SCHEMA_VERSION = 1
+from repro.audit.manifest import _numpy_version, run_scenarios, write_manifest
+from repro.audit.scenarios import Scenario, expand_matrix
 
 #: One seed for every workload in the report.
 SEED = 20240727
 
 #: Sampling caps keeping every workload at smoke scale (seconds, not minutes).
-SCALE = ParameterScale.practical(sample_cap=12, union_trial_cap=16)
+SCALE = {"sample_cap": 12, "union_trial_cap": 16}
+
+#: The counting workloads as declarative matrix specs.  Each spec expands
+#: factorially; together they cover the hot paths: serial FPRAS, the sharded
+#: parallel executor (serial and 4-worker over the same 4-shard plan),
+#: batched Monte-Carlo, the exact DP reference, and (numpy permitting) the
+#: block-simulation backend at m=256.
+BENCH_SPECS: List[Mapping[str, object]] = [
+    {
+        "families": [{"family": "substring", "args": {"pattern": "101"},
+                      "lengths": [10]}],
+        "methods": ["fpras"],
+        "accuracy": [{"epsilon": 0.4, "delta": 0.1}],
+        "seeds": [SEED],
+        "scale": SCALE,
+    },
+    {
+        "families": [{"family": "divisibility", "args": {"divisor": 48},
+                      "lengths": [10]}],
+        "methods": ["fpras"],
+        "workers": [1, 4],
+        "accuracy": [{"epsilon": 0.4, "delta": 0.1}],
+        "seeds": [SEED],
+        "options": {"fpras": {"shards": 4}},
+        "scale": SCALE,
+    },
+    {
+        "families": [{"family": "divisibility", "args": {"divisor": 48},
+                      "lengths": [12]}],
+        "methods": ["montecarlo", "exact"],
+        "accuracy": [{"epsilon": 0.4, "delta": 0.1}],
+        "seeds": [SEED],
+        "options": {"montecarlo": {"num_samples": 20000}},
+    },
+]
+
+#: Appended to :data:`BENCH_SPECS` when numpy is importable.
+NUMPY_SPEC: Mapping[str, object] = {
+    "families": [{"family": "divisibility", "args": {"divisor": 256},
+                  "lengths": [8]}],
+    "methods": ["fpras"],
+    "backends": ["numpy"],
+    "accuracy": [{"epsilon": 0.4, "delta": 0.1}],
+    "seeds": [SEED],
+    "scale": SCALE,
+}
 
 
-def _numpy_version() -> Optional[str]:
-    try:
-        import numpy
-    except ImportError:
-        return None
-    return numpy.__version__
+def bench_scenarios() -> List[Scenario]:
+    """The flat scenario list the bench manifest runs (numpy-gated)."""
+    specs = list(BENCH_SPECS)
+    if _numpy_version() is not None:
+        specs.append(NUMPY_SPEC)
+    scenarios: List[Scenario] = []
+    for spec in specs:
+        scenarios.extend(expand_matrix(spec))
+    return scenarios
 
 
 def _time_call(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
@@ -68,73 +107,6 @@ def _time_call(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
     return median(timings), result
 
 
-def _workloads() -> List[Dict[str, object]]:
-    """The benchmark matrix: name, parameters, and a zero-argument runner."""
-    substring = substring_nfa("101")
-    small_div = divisibility_nfa(48)
-    large_div = divisibility_nfa(256)
-    workloads: List[Dict[str, object]] = [
-        {
-            "name": "fpras_serial_bitset",
-            "params": {"family": "substring(101)", "length": 10, "epsilon": 0.4},
-            "run": lambda: count(
-                substring, 10, method="fpras", epsilon=0.4, seed=SEED, scale=SCALE
-            ),
-        },
-        {
-            "name": "fpras_sharded_serial",
-            "params": {
-                "family": "divisibility(48)", "length": 10, "epsilon": 0.4,
-                "shards": 4, "workers": 1,
-            },
-            "run": lambda: count(
-                small_div, 10, method="fpras", epsilon=0.4, seed=SEED,
-                scale=SCALE, workers=1, shards=4,
-            ),
-        },
-        {
-            "name": "fpras_sharded_pool",
-            "params": {
-                "family": "divisibility(48)", "length": 10, "epsilon": 0.4,
-                "shards": 4, "workers": 4,
-            },
-            "run": lambda: count(
-                small_div, 10, method="fpras", epsilon=0.4, seed=SEED,
-                scale=SCALE, workers=4, shards=4,
-            ),
-        },
-        {
-            "name": "montecarlo_batched",
-            "params": {
-                "family": "divisibility(48)", "length": 12, "num_samples": 20_000,
-            },
-            "run": lambda: count(
-                small_div, 12, method="montecarlo", seed=SEED, num_samples=20_000
-            ),
-        },
-        {
-            "name": "exact_dp_reference",
-            "params": {"family": "divisibility(48)", "length": 12},
-            "run": lambda: count(small_div, 12, method="exact"),
-        },
-    ]
-    if _numpy_version() is not None:
-        workloads.append(
-            {
-                "name": "fpras_numpy_block_backend",
-                "params": {
-                    "family": "divisibility(256)", "length": 8,
-                    "epsilon": 0.4, "backend": "numpy",
-                },
-                "run": lambda: count(
-                    large_div, 8, method="fpras", epsilon=0.4, seed=SEED,
-                    scale=SCALE, backend="numpy",
-                ),
-            }
-        )
-    return workloads
-
-
 def _serve_benchmarks(repeats: int) -> Tuple[List[Dict[str, object]], Dict[str, float]]:
     """Time the serving layer: cold ``POST /count`` vs content-cache hits.
 
@@ -146,6 +118,7 @@ def _serve_benchmarks(repeats: int) -> Tuple[List[Dict[str, object]], Dict[str, 
     """
     import urllib.request
 
+    from repro.automata.families import divisibility_nfa
     from repro.automata.serialization import nfa_to_dict
     from repro.serve import CountingServer
 
@@ -207,64 +180,78 @@ def _serve_benchmarks(repeats: int) -> Tuple[List[Dict[str, object]], Dict[str, 
     return entries, counters
 
 
-def build_report(repeats: int) -> Dict[str, object]:
-    """Time every workload and assemble the JSON document."""
-    benchmarks = []
-    medians: Dict[str, float] = {}
-    for workload in _workloads():
-        seconds, report = _time_call(workload["run"], repeats)
-        medians[workload["name"]] = seconds
-        benchmarks.append(
-            {
-                "name": workload["name"],
-                "params": workload["params"],
-                "median_seconds": seconds,
-                "repeats": repeats,
-                "estimate": getattr(report, "estimate", None),
-                "backend": getattr(report, "backend", None),
-            }
-        )
-    serve_entries, serve_counters = _serve_benchmarks(repeats)
-    for entry in serve_entries:
-        medians[entry["name"]] = entry["median_seconds"]
-    benchmarks.extend(serve_entries)
-    ratios = {}
-    if medians.get("serve_count_cached"):
+def _find_seconds(
+    records: List[Mapping[str, object]],
+    *,
+    method: str,
+    family: str,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Optional[float]:
+    """Median wall time of the first record matching the given spec fields."""
+    for record in records:
+        spec = record["spec"]
+        if spec["method"] != method or spec["family"] != family:
+            continue
+        if workers is not None and spec["workers"] != workers:
+            continue
+        if backend is not None and spec["backend"] != backend:
+            continue
+        return record["elapsed_seconds"]
+    return None
+
+
+def _ratios(
+    records: List[Mapping[str, object]],
+    serve_medians: Mapping[str, float],
+) -> Dict[str, float]:
+    """The headline speedup ratios derived from the manifest records."""
+    fpras_serial = _find_seconds(records, method="fpras", family="substring")
+    sharded_serial = _find_seconds(
+        records, method="fpras", family="divisibility", workers=1
+    )
+    sharded_pool = _find_seconds(
+        records, method="fpras", family="divisibility", workers=4
+    )
+    montecarlo = _find_seconds(records, method="montecarlo", family="divisibility")
+    numpy_block = _find_seconds(
+        records, method="fpras", family="divisibility", backend="numpy"
+    )
+    ratios: Dict[str, float] = {}
+    if serve_medians.get("serve_count_cached"):
         ratios["serve_cache_speedup"] = (
-            medians["serve_count_cold"] / medians["serve_count_cached"]
+            serve_medians["serve_count_cold"] / serve_medians["serve_count_cached"]
         )
-    if medians.get("fpras_sharded_pool"):
-        ratios["fpras_parallel_speedup_4_workers"] = (
-            medians["fpras_sharded_serial"] / medians["fpras_sharded_pool"]
-        )
-    if medians.get("fpras_serial_bitset") and medians.get("montecarlo_batched"):
-        ratios["montecarlo_vs_fpras_wall"] = (
-            medians["montecarlo_batched"] / medians["fpras_serial_bitset"]
-        )
-    if medians.get("fpras_numpy_block_backend"):
-        ratios["numpy_block_vs_serial_bitset_wall"] = (
-            medians["fpras_numpy_block_backend"] / medians["fpras_serial_bitset"]
-        )
-    return {
-        "schema": SCHEMA_VERSION,
+    if sharded_serial and sharded_pool:
+        ratios["fpras_parallel_speedup_4_workers"] = sharded_serial / sharded_pool
+    if fpras_serial and montecarlo:
+        ratios["montecarlo_vs_fpras_wall"] = montecarlo / fpras_serial
+    if fpras_serial and numpy_block:
+        ratios["numpy_block_vs_serial_bitset_wall"] = numpy_block / fpras_serial
+    return ratios
+
+
+def build_report(repeats: int) -> Dict[str, object]:
+    """Run the bench matrix and serving benchmarks into one manifest."""
+    scenarios = bench_scenarios()
+    serve_entries, serve_counters = _serve_benchmarks(repeats)
+    serve_medians = {entry["name"]: entry["median_seconds"] for entry in serve_entries}
+    manifest = run_scenarios(scenarios, repeats=repeats)
+    manifest["bench"] = {
         "seed": SEED,
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "numpy": _numpy_version(),
-        "platform": platform.platform(),
-        "cpu_count": multiprocessing.cpu_count(),
-        "benchmarks": benchmarks,
-        "ratios": ratios,
-        "serve": serve_counters,
+        "ratios": _ratios(manifest["scenarios"], serve_medians),
+        "serve_benchmarks": serve_entries,
+        "serve_counters": serve_counters,
     }
+    return manifest
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the smoke-scale benchmarks and write BENCH_6.json"
+        description="Run the smoke-scale bench matrix and write BENCH_7.json"
     )
     parser.add_argument(
-        "--output", default="BENCH_6.json", help="output path (default: %(default)s)"
+        "--output", default="BENCH_7.json", help="output path (default: %(default)s)"
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
@@ -275,12 +262,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
     document = build_report(args.repeats)
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    names = ", ".join(entry["name"] for entry in document["benchmarks"])
-    print(f"wrote {args.output} ({len(document['benchmarks'])} benchmarks: {names})")
-    for key, value in sorted(document["ratios"].items()):
+    # The bench artifact is a named, per-run file (CI uploads it per run, so
+    # the trajectory accumulates there); local reruns may overwrite it.
+    path = write_manifest(document, args.output, overwrite=True)
+    names = ", ".join(record["id"] for record in document["scenarios"])
+    print(
+        f"wrote {path} ({len(document['scenarios'])} counting scenarios: {names}; "
+        f"{len(document['bench']['serve_benchmarks'])} serve benchmarks)"
+    )
+    for key, value in sorted(document["bench"]["ratios"].items()):
         print(f"  {key}: {value:.3f}")
     return 0
 
