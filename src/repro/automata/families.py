@@ -238,6 +238,23 @@ def no_consecutive_ones_nfa() -> NFA:
     )
 
 
+def corpus_nfa(fixture: str) -> NFA:
+    """A checked-in real-workload corpus fixture, loaded by id.
+
+    The ``corpus`` family is how harvested workloads (:mod:`repro.corpus`)
+    enter every family-keyed surface — the CLI, the audit scenario matrix,
+    the bench report — without new plumbing: ``{"family": "corpus",
+    "args": {"fixture": "valid.uuid"}}`` is a scenario like any other.
+    Loading is integrity-checked; a drifted fixture raises
+    :class:`~repro.errors.CorpusError` instead of silently counting the
+    wrong automaton.  Imported lazily so the automata layer does not
+    depend on the corpus package at import time.
+    """
+    from repro.corpus import load_fixture_nfa
+
+    return load_fixture_nfa(str(fixture))
+
+
 FamilyBuilder = Callable[..., NFA]
 
 FAMILY_REGISTRY: Dict[str, FamilyBuilder] = {
@@ -250,6 +267,7 @@ FAMILY_REGISTRY: Dict[str, FamilyBuilder] = {
     "blocks": blocks_nfa,
     "ladder": ladder_nfa,
     "no_consecutive_ones": no_consecutive_ones_nfa,
+    "corpus": corpus_nfa,
 }
 
 

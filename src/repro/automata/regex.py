@@ -11,9 +11,19 @@ small, dependency-free regex engine:
 
 Supported syntax: literals, ``.`` (any alphabet symbol), grouping ``()``,
 alternation ``|``, repetition ``*``, ``+``, ``?``, bounded repetition
-``{k}`` / ``{k,l}``, character classes ``[abc]``, escaping with ``\\`` and
-multi-character symbols written in angle brackets, e.g. ``<worksAt>`` —
-needed for graph-database edge labels, which are rarely single characters.
+``{k}`` / ``{k,l}``, character classes ``[abc]`` with ranges ``[a-z0-9]``
+and negation ``[^abc]`` (resolved against an explicit alphabet at compile
+time), escaping with ``\\`` and multi-character symbols written in angle
+brackets, e.g. ``<worksAt>`` — needed for graph-database edge labels,
+which are rarely single characters.
+
+Ranges and negation exist because real, harvested patterns (the
+:mod:`repro.corpus` pattern sets) are written with them: ``[0-9]{1,3}``
+octets, ``[0-9a-f]`` hex digits, ``[^"]*`` quoted-string bodies.  A range
+expands at parse time into its explicit symbols; a negated class keeps its
+*excluded* symbols in the AST and is complemented against the alphabet
+during compilation, which is why :func:`compile_regex` requires an explicit
+alphabet for patterns containing one.
 """
 
 from __future__ import annotations
@@ -50,9 +60,17 @@ class AnySymbol(RegexNode):
 
 @dataclass(frozen=True)
 class SymbolClass(RegexNode):
-    """A character class ``[abc]`` — matches any listed symbol."""
+    """A character class ``[abc]`` / ``[a-z]`` / ``[^abc]``.
+
+    For a plain class ``symbols`` are the symbols it *matches* (ranges are
+    already expanded by the parser).  For a negated class
+    (``negated=True``) they are the symbols it *excludes*; the complement
+    is taken against the compilation alphabet by :func:`compile_regex`,
+    which therefore requires the alphabet to be explicit.
+    """
 
     symbols: Tuple[Symbol, ...]
+    negated: bool = False
 
 
 @dataclass(frozen=True)
@@ -210,8 +228,23 @@ class _Parser:
             raise RegexSyntaxError("empty <...> symbol")
         return Literal(name)
 
+    def _class_member(self) -> str:
+        """One (possibly escaped) character inside ``[...]``."""
+        char = self._peek()
+        if char == "\\":
+            self._advance()
+            char = self._peek()
+            if char is None:
+                raise RegexSyntaxError("dangling escape inside character class")
+        self._advance()
+        return char
+
     def _symbol_class(self) -> RegexNode:
         self._expect("[")
+        negated = False
+        if self._peek() == "^":
+            self._advance()
+            negated = True
         symbols: List[Symbol] = []
         while True:
             char = self._peek()
@@ -219,17 +252,27 @@ class _Parser:
                 raise RegexSyntaxError("unterminated character class")
             if char == "]":
                 break
-            if char == "\\":
+            low = self._class_member()
+            # ``a-z`` is a range unless the ``-`` is the last character of
+            # the class (then it is a literal dash, the usual convention).
+            if self._peek() == "-" and self.pattern[self.position + 1:self.position + 2] not in ("]", ""):
                 self._advance()
-                char = self._peek()
-                if char is None:
-                    raise RegexSyntaxError("dangling escape inside character class")
-            symbols.append(char)
-            self._advance()
+                high = self._class_member()
+                if len(low) != 1 or len(high) != 1 or ord(high) < ord(low):
+                    raise RegexSyntaxError(
+                        f"malformed character range {low!r}-{high!r} in "
+                        f"{self.pattern!r} (bounds must be single characters "
+                        "in ascending order)"
+                    )
+                symbols.extend(chr(code) for code in range(ord(low), ord(high) + 1))
+            else:
+                symbols.append(low)
         self._expect("]")
         if not symbols:
-            raise RegexSyntaxError("empty character class")
-        return SymbolClass(tuple(dict.fromkeys(symbols)))
+            raise RegexSyntaxError(
+                "empty negated character class" if negated else "empty character class"
+            )
+        return SymbolClass(tuple(dict.fromkeys(symbols)), negated=negated)
 
     def _number(self) -> int:
         digits = ""
@@ -301,6 +344,15 @@ def _symbols_of(node: RegexNode, alphabet: Sequence[Symbol]) -> Tuple[Symbol, ..
     if isinstance(node, Literal):
         return (node.symbol,)
     if isinstance(node, SymbolClass):
+        if node.negated:
+            excluded = set(node.symbols)
+            remaining = tuple(s for s in alphabet if s not in excluded)
+            if not remaining:
+                raise RegexSyntaxError(
+                    f"negated class excludes every symbol of the alphabet "
+                    f"{tuple(alphabet)!r}"
+                )
+            return remaining
         return node.symbols
     raise TypeError(f"not a symbol node: {node!r}")  # pragma: no cover
 
@@ -359,6 +411,19 @@ def _build_fragment(
     raise TypeError(f"unknown regex node {node!r}")  # pragma: no cover
 
 
+def _contains_negation(node: RegexNode) -> bool:
+    """Whether the AST contains a negated character class anywhere."""
+    if isinstance(node, SymbolClass):
+        return node.negated
+    if isinstance(node, Concat):
+        return any(_contains_negation(part) for part in node.parts)
+    if isinstance(node, Alternation):
+        return any(_contains_negation(option) for option in node.options)
+    if isinstance(node, (Star, Plus, Maybe, Repeat)):
+        return _contains_negation(node.child)
+    return False
+
+
 def _collect_literals(node: RegexNode, out: Set[Symbol]) -> None:
     if isinstance(node, Literal):
         out.add(node.symbol)
@@ -384,9 +449,17 @@ def compile_regex(
     When ``alphabet`` is omitted it is inferred from the literals appearing
     in the pattern (falling back to the binary alphabet for literal-free
     patterns); an explicit alphabet is required for ``.`` to be meaningful
-    beyond the inferred symbols.
+    beyond the inferred symbols, and *mandatory* for patterns containing a
+    negated class ``[^...]`` — "everything except these symbols" has no
+    meaning until the universe of symbols is pinned down.
     """
     ast = parse_regex(pattern)
+    if alphabet is None and _contains_negation(ast):
+        raise RegexSyntaxError(
+            f"pattern {pattern!r} contains a negated class [^...]; negation "
+            "is relative to the alphabet, so compile_regex needs an explicit "
+            "alphabet argument"
+        )
     if alphabet is None:
         literals: Set[Symbol] = set()
         _collect_literals(ast, literals)

@@ -7,8 +7,11 @@ Sub-commands
 ``experiment`` run one of the registered experiments (E1 … E7);
 ``families``   list the available structured NFA families;
 ``methods``    list the registered counting methods;
+``corpus``     manage the real-workload corpus (list/build/verify/stats);
 ``serve``      start the counting HTTP server (:mod:`repro.serve`);
-``audit``      run a declarative scenario matrix into an audit manifest;
+``audit``      run a declarative scenario matrix into an audit manifest
+               (``--matrix`` takes a spec file or a built-in name:
+               ``default``, ``corpus``);
 ``audit-diff`` gate one manifest against a baseline (speed + accuracy drift);
 ``params``     print the paper vs operational FPRAS parameters for (m, n, eps).
 
@@ -188,17 +191,89 @@ def _cmd_methods(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_audit(args: argparse.Namespace) -> int:
-    # Imported lazily: the audit pipeline is only paid for when used.
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    # Imported lazily: only the corpus sub-command pays for fixture I/O.
+    from repro.corpus import (
+        CORPUS_REGISTRY,
+        build_fixture,
+        corpus_dir,
+        corpus_stats,
+        verify_corpus,
+        write_fixture,
+    )
+
+    directory = args.dir if args.dir is not None else corpus_dir()
+    ids = list(args.id) if args.id else sorted(CORPUS_REGISTRY)
+    unknown = [corpus_id for corpus_id in ids if corpus_id not in CORPUS_REGISTRY]
+    if unknown:
+        print(
+            f"error: unknown corpus id(s) {unknown}; "
+            f"known ids: {sorted(CORPUS_REGISTRY)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.corpus_command == "list":
+        rows = [
+            {
+                "id": entry.corpus_id,
+                "kind": "rpq" if entry.corpus_id.startswith("rpq.") else "regex",
+                "pattern": entry.pattern,
+                "lengths": ",".join(str(n) for n in entry.lengths),
+                "source": entry.source["name"],
+            }
+            for corpus_id, entry in sorted(CORPUS_REGISTRY.items())
+            if corpus_id in ids
+        ]
+        print(format_table(rows, title="corpus registry (in-code sources)"))
+        return 0
+
+    if args.corpus_command == "build":
+        for corpus_id in ids:
+            document = build_fixture(CORPUS_REGISTRY[corpus_id])
+            path = write_fixture(CORPUS_REGISTRY[corpus_id], directory)
+            print(f"built {corpus_id}: {document['digest'][:12]} -> {path}")
+        print(f"built {len(ids)} fixture(s) into {directory}")
+        return 0
+
+    if args.corpus_command == "verify":
+        results = verify_corpus(directory, ids)
+        for corpus_id in ids:
+            print(f"verified {corpus_id}: {results[corpus_id][:12]}")
+        print(f"verified {len(ids)} fixture(s) against their sources: OK")
+        return 0
+
+    # stats: load every requested fixture and tabulate its shape.
+    rows = corpus_stats(directory, ids)
+    print(format_table(rows, title=f"corpus fixtures in {directory}"))
+    return 0
+
+
+#: Built-in matrix names ``repro audit --matrix`` resolves before trying a file.
+BUILTIN_MATRICES = ("default", "corpus")
+
+
+def _resolve_matrix(name: "Optional[str]") -> dict:
+    """Resolve ``--matrix`` to a spec dict: builtin name, file path, or default."""
     import json
 
-    from repro.audit import DEFAULT_MATRIX, run_matrix, write_manifest
+    from repro.audit import DEFAULT_MATRIX
 
-    if args.matrix is not None:
-        with open(args.matrix, "r", encoding="utf-8") as handle:
-            spec = json.load(handle)
-    else:
-        spec = DEFAULT_MATRIX
+    if name is None or name == "default":
+        return DEFAULT_MATRIX
+    if name == "corpus":
+        from repro.corpus import CORPUS_MATRIX
+
+        return CORPUS_MATRIX
+    with open(name, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    # Imported lazily: the audit pipeline is only paid for when used.
+    from repro.audit import run_matrix, write_manifest
+
+    spec = _resolve_matrix(args.matrix)
     manifest = run_matrix(spec, repeats=args.repeats)
     path = write_manifest(manifest, args.output, overwrite=args.force)
     summary = manifest["summary"]
@@ -390,6 +465,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     methods_cmd.set_defaults(handler=_cmd_methods)
 
+    corpus = subparsers.add_parser(
+        "corpus",
+        help="manage the curated real-workload corpus "
+        "(list / build / verify / stats)",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_shared = argparse.ArgumentParser(add_help=False)
+    corpus_shared.add_argument(
+        "--id",
+        action="append",
+        metavar="CORPUS_ID",
+        help="restrict to one corpus id (repeatable; default: all)",
+    )
+    corpus_shared.add_argument(
+        "--dir",
+        default=None,
+        help="fixture directory (default: tests/fixtures/corpus, or "
+        "$REPRO_CORPUS_DIR)",
+    )
+    corpus_list = corpus_sub.add_parser(
+        "list", parents=[corpus_shared], help="list the in-code corpus registry"
+    )
+    corpus_list.set_defaults(handler=_cmd_corpus)
+    corpus_build = corpus_sub.add_parser(
+        "build",
+        parents=[corpus_shared],
+        help="regenerate checked-in fixtures from their in-code sources",
+    )
+    corpus_build.set_defaults(handler=_cmd_corpus)
+    corpus_verify = corpus_sub.add_parser(
+        "verify",
+        parents=[corpus_shared],
+        help="prove every fixture's digest matches a fresh build from source",
+    )
+    corpus_verify.set_defaults(handler=_cmd_corpus)
+    corpus_stats_cmd = corpus_sub.add_parser(
+        "stats", parents=[corpus_shared], help="tabulate fixture shapes and digests"
+    )
+    corpus_stats_cmd.set_defaults(handler=_cmd_corpus)
+
     serve = subparsers.add_parser(
         "serve",
         help="start the counting HTTP server (POST /count, GET /stats, "
@@ -426,8 +541,9 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument(
         "--matrix",
         default=None,
-        metavar="SPEC.json",
-        help="matrix spec file (default: the built-in smoke matrix)",
+        metavar="SPEC.json|NAME",
+        help="matrix spec file, or a built-in name "
+        f"({', '.join(BUILTIN_MATRICES)}); default: the built-in smoke matrix",
     )
     audit.add_argument(
         "--output",

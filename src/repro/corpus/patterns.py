@@ -1,0 +1,225 @@
+"""Curated regex pattern sets harvested from real-world pattern collections.
+
+The paper motivates #NFA with regex-shaped questions over real data — "how
+many length-``n`` log lines match this parser rule", "how many inputs pass
+this validator" — yet until this subsystem every benchmark ran on synthetic
+families.  The entries below are hand-curated from the kinds of pattern
+collections production systems actually carry:
+
+* **log parsing** — shapes from Elastic's grok pattern library and classic
+  Apache/syslog line formats (timestamps, IPv4 dotted quads, HTTP status
+  codes, log levels, quoted fields);
+* **lint / language tooling** — token shapes lexers and linters match
+  (identifiers, semantic-version strings, hex literals);
+* **input validation** — allowlist shapes from OWASP-style validation
+  regex collections (UUIDs, hex colors, email-like addresses).
+
+Every entry records its attribution (``source`` name + URL) and is written
+in the dialect of :mod:`repro.automata.regex` — which is exactly why that
+parser grew character ranges ``[0-9]`` and negated classes ``[^"]``.
+Alphabets are deliberately restricted (e.g. ``a``–``f`` standing in for all
+letters) where the full character set would only scale the counts, not the
+automaton structure: what the FPRAS is stressed by is the *shape* — chained
+bounded repetitions, overlapping alternations, negated loops — not the
+alphabet width.
+
+These definitions are the *sources* the checked-in fixtures under
+``tests/fixtures/corpus/`` are built from; see :mod:`repro.corpus.registry`
+for the build/verify machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Restricted stand-in alphabets shared by several patterns.
+HEX = tuple("0123456789abcdef")
+DIGITS = tuple("0123456789")
+LOWER = tuple("abcdef")  # a-f stands in for the full lowercase range
+
+
+@dataclass(frozen=True)
+class CorpusPattern:
+    """One curated pattern: the regex, its alphabet, and its provenance.
+
+    Attributes
+    ----------
+    corpus_id:
+        Stable dotted identifier (``"log.ipv4"``); fixture file names,
+        scenario ids and digests all key off it, so it never changes.
+    pattern:
+        The regex in :mod:`repro.automata.regex` syntax.
+    alphabet:
+        Explicit compilation alphabet, or ``None`` to infer from literals.
+    lengths:
+        Suggested word lengths ``n`` for scenarios over this automaton
+        (chosen so the language slice is non-empty and ground truth stays
+        computable).
+    description:
+        What the pattern matches, in one line.
+    source:
+        Attribution: where this shape was harvested from.
+    tags:
+        Free-form classification (``"log"``, ``"lint"``, ``"validation"``).
+    """
+
+    corpus_id: str
+    pattern: str
+    alphabet: Optional[Tuple[str, ...]]
+    lengths: Tuple[int, ...]
+    description: str
+    source: Dict[str, str] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+
+def _pattern(
+    corpus_id: str,
+    pattern: str,
+    alphabet: Optional[Tuple[str, ...]],
+    lengths: Tuple[int, ...],
+    description: str,
+    source_name: str,
+    source_url: str,
+    *tags: str,
+) -> CorpusPattern:
+    """Terse constructor keeping the curated table below readable."""
+    return CorpusPattern(
+        corpus_id=corpus_id,
+        pattern=pattern,
+        alphabet=alphabet,
+        lengths=lengths,
+        description=description,
+        source={"name": source_name, "url": source_url},
+        tags=tuple(tags),
+    )
+
+
+#: The curated pattern set, keyed by stable corpus id.
+PATTERNS: Tuple[CorpusPattern, ...] = (
+    # ------------------------------------------------------------------
+    # Log parsing
+    # ------------------------------------------------------------------
+    _pattern(
+        "log.loglevel",
+        "(TRACE|DEBUG|INFO|WARN|ERROR|FATAL)",
+        None,
+        (4, 5),
+        "severity token of a java-style log line (grok LOGLEVEL)",
+        "Elastic grok patterns (LOGLEVEL)",
+        "https://github.com/elastic/elasticsearch/blob/main/libs/grok/src/main/resources/patterns/legacy/grok-patterns",
+        "log",
+    ),
+    _pattern(
+        "log.ipv4",
+        r"[0-9]{1,3}(\.[0-9]{1,3}){3}",
+        DIGITS + (".",),
+        (11, 15),
+        "dotted-quad IPv4 field of an access-log line (grok IPV4, simplified)",
+        "Elastic grok patterns (IPV4)",
+        "https://github.com/elastic/elasticsearch/blob/main/libs/grok/src/main/resources/patterns/legacy/grok-patterns",
+        "log",
+    ),
+    _pattern(
+        "log.iso_timestamp",
+        "[0-9]{4}-[0-9]{2}-[0-9]{2}T[0-9]{2}:[0-9]{2}:[0-9]{2}",
+        DIGITS + ("-", "T", ":"),
+        (19,),
+        "ISO-8601 timestamp prefix of a structured log line (grok TIMESTAMP_ISO8601)",
+        "Elastic grok patterns (TIMESTAMP_ISO8601)",
+        "https://github.com/elastic/elasticsearch/blob/main/libs/grok/src/main/resources/patterns/legacy/grok-patterns",
+        "log",
+    ),
+    _pattern(
+        "log.http_status",
+        "[1-5][0-9][0-9]",
+        DIGITS,
+        (3,),
+        "HTTP status-code field of an Apache combined log line",
+        "Apache HTTP server combined log format",
+        "https://httpd.apache.org/docs/current/logs.html",
+        "log",
+    ),
+    _pattern(
+        "log.quoted_field",
+        '"[^"]*"',
+        ('"', "a", "b", "c", " "),
+        (6, 8),
+        'double-quoted field (request line / user agent) of an access log',
+        "Apache HTTP server combined log format",
+        "https://httpd.apache.org/docs/current/logs.html",
+        "log",
+    ),
+    # ------------------------------------------------------------------
+    # Lint / language tooling
+    # ------------------------------------------------------------------
+    _pattern(
+        "lint.identifier",
+        "[a-f_][a-f0-9_]*",
+        LOWER + DIGITS + ("_",),
+        (8,),
+        "snake_case identifier token (python lexer NAME shape, a-f alphabet)",
+        "CPython tokenizer / pycodestyle naming checks",
+        "https://docs.python.org/3/reference/lexical_analysis.html#identifiers",
+        "lint",
+    ),
+    _pattern(
+        "lint.semver",
+        r"[0-9]+(\.[0-9]+){2}",
+        DIGITS + (".",),
+        (5, 8),
+        "MAJOR.MINOR.PATCH semantic-version core (semver.org grammar, no pre-release)",
+        "Semantic Versioning 2.0.0 grammar",
+        "https://semver.org/#backusnaur-form-grammar-for-valid-semver-versions",
+        "lint",
+    ),
+    _pattern(
+        "lint.hex_literal",
+        "0x[0-9a-f]+",
+        ("x",) + HEX,
+        (6,),
+        "hexadecimal integer literal token (C/python lexer shape)",
+        "CPython tokenizer (hexinteger)",
+        "https://docs.python.org/3/reference/lexical_analysis.html#integer-literals",
+        "lint",
+    ),
+    # ------------------------------------------------------------------
+    # Input validation
+    # ------------------------------------------------------------------
+    _pattern(
+        "valid.uuid",
+        "[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}",
+        HEX + ("-",),
+        (36,),
+        "RFC 4122 UUID in canonical lowercase-hex form",
+        "OWASP validation regex repository (UUID)",
+        "https://owasp.org/www-community/OWASP_Validation_Regex_Repository",
+        "validation",
+    ),
+    _pattern(
+        "valid.hex_color",
+        "#[0-9a-f]{6}",
+        ("#",) + HEX,
+        (7,),
+        "CSS six-digit hex color (#rrggbb)",
+        "CSS Color Module Level 3 (hex notation)",
+        "https://www.w3.org/TR/css-color-3/#rgb-color",
+        "validation",
+    ),
+    _pattern(
+        "valid.email",
+        r"[a-c0-9]+(\.[a-c0-9]+)*@[a-c]+(\.[a-c]+)+",
+        ("a", "b", "c", "0", "1", ".", "@"),
+        (9, 12),
+        "email-address allowlist shape (local@domain.tld, a-c alphabet)",
+        "OWASP validation regex repository (email)",
+        "https://owasp.org/www-community/OWASP_Validation_Regex_Repository",
+        "validation",
+    ),
+)
+
+
+#: ``corpus_id -> CorpusPattern`` view of :data:`PATTERNS`.
+PATTERN_INDEX: Dict[str, CorpusPattern] = {
+    entry.corpus_id: entry for entry in PATTERNS
+}

@@ -1,0 +1,118 @@
+"""RPQ-shaped corpus automata over realistic edge-label alphabets.
+
+Regular path queries are the paper's flagship application: a graph
+database is an edge-labeled graph, and an RPQ asks for pairs of nodes
+joined by a path whose label sequence matches a regular expression.  The
+query classes below mirror the ones benchmarked against real graph
+databases — reachability closures ``a*``, concatenations ``a* b``,
+disjunctive closures ``(a|b)+`` and bounded-hop variants ``a{0,k} b`` —
+the classes Bonifati, Martens and Timm found to cover the overwhelming
+majority of property paths in real SPARQL query logs.
+
+Each entry fixes a small, realistic edge-label alphabet (a social graph, a
+multimodal transport network, a citation graph) and a query over it,
+written with the ``<label>`` multi-character-symbol syntax of
+:mod:`repro.automata.regex` — the same construction
+:class:`repro.applications.graphdb.RPQCounter` uses for the query side of
+its product automaton.  Counting words of these automata at length ``n``
+is counting label sequences of matching ``n``-hop paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.corpus.patterns import CorpusPattern, _pattern
+
+#: Edge labels of a social-network graph (LDBC SNB-style schema).
+SOCIAL = ("knows", "follows", "worksAt", "memberOf", "livesIn")
+
+#: Edge labels of a multimodal transport network.
+TRANSPORT = ("road", "rail", "air", "ferry")
+
+#: Edge labels of a citation/provenance graph.
+CITATION = ("cites", "extends", "refutes")
+
+#: Attribution shared by the query-class entries.
+_BMT = (
+    "Bonifati, Martens & Timm, \"An analytical study of large SPARQL query logs\"",
+    "https://doi.org/10.14778/3149193.3149196",
+)
+_LDBC = (
+    "LDBC Social Network Benchmark schema",
+    "https://ldbcouncil.org/benchmarks/snb/",
+)
+
+
+#: The curated RPQ set: query classes x realistic label alphabets.
+RPQ_QUERIES: Tuple[CorpusPattern, ...] = (
+    _pattern(
+        "rpq.social.coworker_reach",
+        "(<knows>)*<worksAt>",
+        SOCIAL,
+        (4, 6),
+        "employers reachable through a chain of acquaintances (closure + concat, a*b)",
+        *_LDBC,
+        "rpq", "social",
+    ),
+    _pattern(
+        "rpq.social.contact_closure",
+        "(<knows>|<follows>)+",
+        SOCIAL,
+        (5, 8),
+        "transitive social reachability over both contact edge types ((a|b)+)",
+        *_BMT,
+        "rpq", "social",
+    ),
+    _pattern(
+        "rpq.social.nearby_affiliation",
+        "(<knows>){0,3}(<worksAt>|<memberOf>)",
+        SOCIAL,
+        (3, 4),
+        "affiliations within three hops of acquaintance (bounded-hop a{0,k}(b|c))",
+        *_BMT,
+        "rpq", "social",
+    ),
+    _pattern(
+        "rpq.transport.single_flight",
+        "(<road>|<rail>)*(<air>)?(<road>|<rail>)*",
+        TRANSPORT,
+        (5, 7),
+        "itineraries using at most one flight between ground segments",
+        *_BMT,
+        "rpq", "transport",
+    ),
+    _pattern(
+        "rpq.transport.ground_only",
+        "(<road>|<rail>|<ferry>)+",
+        TRANSPORT,
+        (5, 8),
+        "ground/sea-only reachability (negation of a label, spelled as a union)",
+        *_BMT,
+        "rpq", "transport",
+    ),
+    _pattern(
+        "rpq.citation.influence",
+        "(<cites>|<extends>)+",
+        CITATION,
+        (5, 8),
+        "transitive scholarly influence through citation or extension edges",
+        *_BMT,
+        "rpq", "citation",
+    ),
+    _pattern(
+        "rpq.citation.contested",
+        "(<cites>)*<refutes>(<cites>)*",
+        CITATION,
+        (4, 6),
+        "citation chains passing through exactly one refutation edge (a*ba*)",
+        *_BMT,
+        "rpq", "citation",
+    ),
+)
+
+
+#: ``corpus_id -> CorpusPattern`` view of :data:`RPQ_QUERIES`.
+RPQ_INDEX: Dict[str, CorpusPattern] = {
+    entry.corpus_id: entry for entry in RPQ_QUERIES
+}

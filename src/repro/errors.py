@@ -85,5 +85,17 @@ class AuditError(ReproError):
     """
 
 
+class CorpusError(ReproError):
+    """Raised when a corpus fixture is missing, drifted, or tampered with.
+
+    The real-workload corpus (:mod:`repro.corpus`) checks in serialized
+    automata with content-addressed integrity digests; a fixture file whose
+    body no longer matches its digest — or whose digest no longer matches a
+    rebuild from the curated source definition — is refused rather than
+    silently loaded, so benchmark and audit trajectories never run on
+    drifted workloads.
+    """
+
+
 class ExperimentError(ReproError):
     """Raised by the harness when an experiment is misconfigured."""

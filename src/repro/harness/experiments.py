@@ -1,4 +1,4 @@
-"""Experiment registry (E1 … E7) and runners.
+"""Experiment registry (E1 … E8) and runners.
 
 Each experiment corresponds to one row of the experiment index in DESIGN.md
 and regenerates one "table or figure" worth of data — here, since the paper
@@ -7,6 +7,11 @@ application scenarios from its introduction.  Runners return an
 :class:`ExperimentResult` whose ``rows`` can be printed with
 :func:`repro.harness.reporting.format_table`; the benchmark modules under
 ``benchmarks/`` wrap the same runners in ``pytest-benchmark`` fixtures.
+
+E1, E2 and E8 run their sweeps through the declarative scenario matrix
+(:mod:`repro.audit.scenarios` / :func:`repro.audit.manifest.run_matrix`)
+instead of hand-rolled loops, so their cells carry audit-manifest records
+(fingerprints, ground truth, guarantee verdicts) for free.
 
 All experiments accept a ``quick`` flag: the default (quick) settings run in
 seconds on a laptop; ``quick=False`` uses larger sweeps for report-quality
@@ -20,17 +25,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.accuracy import evaluate_accuracy
-from repro.analysis.complexity import growth_exponent, samples_per_state_table
+from repro.analysis.complexity import complexity_point, growth_exponent
 from repro.analysis.statistics import uniformity_report
 from repro.automata import families
-from repro.automata.exact import count_exact, enumerate_slice
+from repro.automata.exact import enumerate_slice
 from repro.counting.api import CountRequest, count as unified_count
 from repro.counting.fpras import FPRASParameters
 from repro.counting.uniform import UniformWordSampler
 from repro.errors import ExperimentError
 from repro.workloads.generator import (
-    accuracy_suite,
     scaling_suite_epsilon,
     scaling_suite_length,
     scaling_suite_states,
@@ -77,13 +80,21 @@ ExperimentRunner = Callable[..., ExperimentResult]
 # ----------------------------------------------------------------------
 # E1 — sample complexity per state (paper's Table-1-equivalent claim)
 # ----------------------------------------------------------------------
-def run_sample_complexity(quick: bool = True, **_ignored: object) -> ExperimentResult:
+def run_sample_complexity(
+    quick: bool = True, seed: Optional[int] = None, **_ignored: object
+) -> ExperimentResult:
     """Configured samples per (state, level): ACJR vs this paper.
 
     Reproduces the comparison in Section 1 of the paper: ACJR keep
     ``O((mn/eps)^7)`` samples per state while the new scheme keeps
-    ``Õ(n^4/eps^2)`` — independent of ``m``.
+    ``Õ(n^4/eps^2)`` — independent of ``m``.  The sweep runs through the
+    declarative scenario matrix (:func:`repro.audit.manifest.run_matrix`):
+    each ``(m, n, epsilon)`` cell is a ``divisibility(m)`` scenario counted
+    with the capped FPRAS, and its row pairs the analytic sample/time
+    formulas with the measured relative error and wall time of that run.
     """
+    from repro.audit import run_matrix
+
     result = ExperimentResult(
         experiment="E1",
         description="samples per (state, level): ACJR O((mn/eps)^7) vs paper Õ(n^4/eps^2)",
@@ -92,7 +103,29 @@ def run_sample_complexity(quick: bool = True, **_ignored: object) -> ExperimentR
     state_counts = (5, 10, 20) if quick else (5, 10, 20, 50, 100)
     lengths = (10, 20) if quick else (10, 20, 50, 100)
     epsilons = (0.5, 0.1) if quick else (0.5, 0.2, 0.1, 0.05)
-    for point in samples_per_state_table(state_counts, lengths, epsilons):
+    delta = 0.1
+    rng = _experiment_rng(seed)
+    spec = {
+        # divisibility(m) has exactly m states, so the matrix's family
+        # axis doubles as the sweep's m axis.
+        "families": [
+            {"family": "divisibility", "args": {"divisor": m}, "lengths": list(lengths)}
+            for m in state_counts
+        ],
+        "methods": ["fpras"],
+        "accuracy": [{"epsilon": epsilon, "delta": delta} for epsilon in epsilons],
+        "seeds": [_derive_seed(rng)],
+        "scale": {"sample_cap": 12, "union_trial_cap": 16},
+    }
+    manifest = run_matrix(spec)
+    for record in manifest["scenarios"]:
+        cell = record["spec"]
+        point = complexity_point(
+            int(cell["family_args"]["divisor"]),
+            int(cell["length"]),
+            float(cell["epsilon"]),
+            delta,
+        )
         parameters = FPRASParameters(epsilon=point.epsilon, delta=point.delta)
         result.add_row(
             m=point.num_states,
@@ -103,10 +136,16 @@ def run_sample_complexity(quick: bool = True, **_ignored: object) -> ExperimentR
             paper_ns_formula=parameters.ns_paper(point.length, point.num_states),
             sample_ratio=point.sample_ratio,
             time_ratio=point.time_ratio,
+            measured_rel_error=record["relative_error"],
+            measured_seconds=record["elapsed_seconds"],
         )
     result.add_note(
         "paper_samples depends only on n and epsilon (independent of m); "
         "acjr_samples grows with m^7 — the ratio column is the paper's headline gap."
+    )
+    result.add_note(
+        "measured_* columns come from an audited run_matrix sweep of the same "
+        "cells (capped FPRAS on divisibility(m)); run `repro audit` to persist it."
     )
     result.elapsed_seconds = time.perf_counter() - start
     return result
@@ -115,6 +154,19 @@ def run_sample_complexity(quick: bool = True, **_ignored: object) -> ExperimentR
 # ----------------------------------------------------------------------
 # E2 — accuracy of the FPRAS against exact ground truth (Theorem 3)
 # ----------------------------------------------------------------------
+#: The matrix cells of E2: the default benchmark suite, declaratively.
+ACCURACY_FAMILIES = (
+    {"family": "all_words", "args": {}},
+    {"family": "parity", "args": {"ones_modulus": 3}},
+    {"family": "divisibility", "args": {"divisor": 5}},
+    {"family": "substring", "args": {"pattern": "101"}},
+    {"family": "suffix", "args": {"pattern": "0110"}},
+    {"family": "union_of_patterns", "args": {"patterns": ["00", "11", "0101"]}},
+    {"family": "no_consecutive_ones", "args": {}},
+    {"family": "ladder", "args": {"rungs": 4}},
+)
+
+
 def run_accuracy(
     quick: bool = True,
     epsilon: float = 0.3,
@@ -124,7 +176,16 @@ def run_accuracy(
     backend: Optional[str] = None,
     **_ignored: object,
 ) -> ExperimentResult:
-    """Relative error and guarantee satisfaction across the structured families."""
+    """Relative error and guarantee satisfaction across the structured families.
+
+    The trial sweep is a declarative scenario matrix: every family of
+    :data:`ACCURACY_FAMILIES` crosses with ``trials`` seeds through
+    :func:`repro.audit.manifest.run_matrix`, and each row summarises one
+    family's seed group exactly as the audit manifest records it (ground
+    truth, mean/max relative error, fraction within the guarantee).
+    """
+    from repro.audit import run_matrix
+
     result = ExperimentResult(
         experiment="E2",
         description="FPRAS accuracy vs exact counts (Theorem 3 guarantee)",
@@ -133,30 +194,53 @@ def run_accuracy(
     rng = _experiment_rng(seed)
     trials = trials if trials is not None else (3 if quick else 10)
     length = length if length is not None else (8 if quick else 12)
-    suite = accuracy_suite(length=length, epsilon=epsilon)
-
-    def fpras_estimator(nfa, n, trial_seed):
-        return unified_count(
-            nfa, n, method="fpras", epsilon=epsilon, delta=0.1,
-            seed=trial_seed, backend=backend,
-        ).estimate
-
-    for workload in suite:
-        report = evaluate_accuracy(
-            workload.name,
-            workload.nfa,
-            workload.length,
-            fpras_estimator,
-            epsilon=epsilon,
-            trials=trials,
-            base_seed=_derive_seed(rng),
+    base_seed = _derive_seed(rng)
+    spec = {
+        "families": [dict(entry, lengths=[length]) for entry in ACCURACY_FAMILIES],
+        "methods": ["fpras"],
+        "backends": [backend],
+        "accuracy": [{"epsilon": epsilon, "delta": 0.1}],
+        "seeds": [base_seed + trial for trial in range(trials)],
+    }
+    manifest = run_matrix(spec)
+    groups: Dict[str, List[Dict[str, object]]] = {}
+    for record in manifest["scenarios"]:
+        groups.setdefault(record["group"], []).append(record)
+    for group_records in groups.values():
+        cell = group_records[0]["spec"]
+        nfa = families.build_family(cell["family"], **dict(cell["family_args"]))
+        errors = [
+            record["relative_error"]
+            for record in group_records
+            if record["relative_error"] is not None
+        ]
+        verdicts = [
+            record["within_epsilon"]
+            for record in group_records
+            if record["within_epsilon"] is not None
+        ]
+        result.add_row(
+            name=cell["family"],
+            states=nfa.num_states,
+            length=cell["length"],
+            exact=group_records[0]["exact"],
+            trials=len(group_records),
+            mean_rel_error=sum(errors) / len(errors) if errors else None,
+            max_rel_error=max(errors) if errors else None,
+            within_fraction=(
+                sum(1 for verdict in verdicts if verdict) / len(verdicts)
+                if verdicts
+                else None
+            ),
+            epsilon=cell["epsilon"],
         )
-        summary = report.summary()
-        summary["states"] = workload.num_states
-        result.rows.append(summary)
     result.add_note(
         f"guarantee target: every estimate within a (1+{epsilon}) factor of exact "
         f"with probability >= 1 - delta."
+    )
+    result.add_note(
+        "rows aggregate per-family seed groups of an audited run_matrix sweep; "
+        "the same groups feed the CI drift gate."
     )
     result.elapsed_seconds = time.perf_counter() - start
     return result

@@ -1,0 +1,274 @@
+"""Tests for the real-workload corpus subsystem (:mod:`repro.corpus`).
+
+Three layers of guarantees:
+
+* **determinism** — every checked-in fixture round-trips through the
+  serialization layer, rebuilds byte-identically from its in-code source,
+  and carries the ``request_fingerprint`` a fresh computation reproduces;
+* **integrity** — tampered or drifted fixtures are refused on load with
+  :class:`~repro.errors.CorpusError`, and consistently-edited fixtures
+  (body and digest rewritten together) are caught by ``verify`` against
+  the source definitions;
+* **integration** — corpus fixtures reach the family registry, the audit
+  scenario matrix, ``repro audit`` manifests and the ``repro corpus`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.audit import run_matrix, validate_manifest
+from repro.audit.scenarios import expand_matrix
+from repro.automata.families import build_family
+from repro.automata.serialization import nfa_from_dict, nfa_to_dict
+from repro.cli import main as cli_main
+from repro.corpus import (
+    CORPUS_MATRIX,
+    CORPUS_REGISTRY,
+    DEFAULT_MATRIX_IDS,
+    PATTERNS,
+    RPQ_QUERIES,
+    build_fixture,
+    corpus_dir,
+    corpus_matrix_spec,
+    corpus_stats,
+    fixture_digest,
+    fixture_path,
+    load_corpus,
+    load_fixture,
+    load_fixture_nfa,
+    verify_corpus,
+    verify_fixture,
+    write_fixture,
+)
+from repro.corpus.registry import PROBE_REQUEST
+from repro.counting.api import count, request_fingerprint
+from repro.errors import CorpusError
+
+ALL_IDS = sorted(CORPUS_REGISTRY)
+
+
+class TestRegistryShape:
+    def test_registry_covers_patterns_and_rpq(self):
+        assert set(CORPUS_REGISTRY) == {
+            entry.corpus_id for entry in (*PATTERNS, *RPQ_QUERIES)
+        }
+        assert len(CORPUS_REGISTRY) >= 15
+
+    def test_ids_are_stable_and_namespaced(self):
+        for corpus_id in ALL_IDS:
+            area = corpus_id.split(".")[0]
+            assert area in {"log", "lint", "valid", "rpq"}
+
+    def test_every_entry_has_attribution_and_lengths(self):
+        for entry in CORPUS_REGISTRY.values():
+            assert entry.source["name"]
+            assert entry.source["url"].startswith("http")
+            assert entry.lengths and all(n > 0 for n in entry.lengths)
+
+    def test_every_fixture_file_is_checked_in(self):
+        for corpus_id in ALL_IDS:
+            path = fixture_path(corpus_id)
+            with open(path, "r", encoding="utf-8") as handle:
+                assert json.load(handle)["id"] == corpus_id
+
+
+class TestFixtureDeterminism:
+    @pytest.mark.parametrize("corpus_id", ALL_IDS)
+    def test_fixture_round_trips_and_matches_digest(self, corpus_id):
+        fixture = load_fixture(corpus_id)
+        document = nfa_to_dict(fixture.nfa)
+        assert nfa_from_dict(document) == fixture.nfa
+        rebuilt = build_fixture(CORPUS_REGISTRY[corpus_id])
+        assert rebuilt["digest"] == fixture.digest
+        assert rebuilt["automaton"] == document
+
+    @pytest.mark.parametrize("corpus_id", ALL_IDS)
+    def test_fingerprint_matches_checked_in_value(self, corpus_id):
+        fixture = load_fixture(corpus_id)
+        recomputed = request_fingerprint(
+            nfa_to_dict(fixture.nfa), fixture.lengths[0], PROBE_REQUEST
+        )
+        assert recomputed == fixture.fingerprint
+
+    def test_build_is_deterministic(self):
+        entry = CORPUS_REGISTRY["log.http_status"]
+        assert build_fixture(entry) == build_fixture(entry)
+
+    def test_verify_corpus_passes_on_checked_in_fixtures(self):
+        digests = verify_corpus()
+        assert set(digests) == set(ALL_IDS)
+        assert all(len(d) == 64 for d in digests.values())
+
+
+class TestIntegrity:
+    def _write_tampered(self, tmp_path, corpus_id, mutate):
+        path = fixture_path(corpus_id)
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        mutate(document)
+        out = tmp_path / f"{corpus_id}.json"
+        out.write_text(json.dumps(document))
+        return str(tmp_path)
+
+    def test_tampered_automaton_is_rejected(self, tmp_path):
+        def mutate(document):
+            document["automaton"]["accepting"] = []
+
+        directory = self._write_tampered(tmp_path, "log.http_status", mutate)
+        with pytest.raises(CorpusError, match="integrity"):
+            load_fixture("log.http_status", directory)
+
+    def test_tampered_metadata_is_rejected(self, tmp_path):
+        def mutate(document):
+            document["lengths"] = [99]
+
+        directory = self._write_tampered(tmp_path, "valid.hex_color", mutate)
+        with pytest.raises(CorpusError, match="drifted"):
+            load_fixture("valid.hex_color", directory)
+
+    def test_consistent_edit_passes_load_but_fails_verify(self, tmp_path):
+        def mutate(document):
+            document["description"] = "edited"
+            document["digest"] = fixture_digest(document)
+
+        directory = self._write_tampered(tmp_path, "lint.semver", mutate)
+        assert load_fixture("lint.semver", directory).description == "edited"
+        with pytest.raises(CorpusError, match="source"):
+            verify_fixture("lint.semver", directory)
+
+    def test_missing_file_names_the_build_command(self, tmp_path):
+        with pytest.raises(CorpusError, match="repro corpus build"):
+            load_fixture("valid.uuid", str(tmp_path))
+
+    def test_unknown_id_is_rejected(self):
+        with pytest.raises(CorpusError, match="unknown"):
+            load_fixture("no.such.fixture")
+
+    def test_wrong_format_tag_is_rejected(self, tmp_path):
+        def mutate(document):
+            document["format"] = "something-else"
+
+        directory = self._write_tampered(tmp_path, "log.loglevel", mutate)
+        with pytest.raises(CorpusError, match="format|document"):
+            load_fixture("log.loglevel", directory)
+
+    def test_write_fixture_regenerates_byte_identical_files(self, tmp_path):
+        entry = CORPUS_REGISTRY["rpq.citation.contested"]
+        path = write_fixture(entry, str(tmp_path))
+        with open(path, "r", encoding="utf-8") as rebuilt:
+            with open(fixture_path(entry.corpus_id), "r", encoding="utf-8") as checked:
+                assert rebuilt.read() == checked.read()
+
+
+class TestCounting:
+    def test_fixture_nfa_counts_with_exact_ground_truth(self):
+        fixture = load_fixture("log.http_status")
+        exact = count(fixture.nfa, 3, method="exact").raw
+        assert exact == 5 * 10 * 10  # [1-5] x [0-9] x [0-9]
+
+    def test_corpus_family_builder(self):
+        nfa = build_family("corpus", fixture="valid.hex_color")
+        assert nfa == load_fixture_nfa("valid.hex_color")
+        assert count(nfa, 7, method="exact").raw == 16**6
+
+    def test_rpq_fixture_counts_label_sequences(self):
+        nfa = load_fixture_nfa("rpq.citation.contested")
+        # Paths of 4 hops with exactly one <refutes>: 4 positions.
+        assert count(nfa, 4, method="exact").raw == 4
+
+
+class TestMatrixIntegration:
+    def test_corpus_matrix_expands_to_at_least_eight_scenarios(self):
+        scenarios = expand_matrix(CORPUS_MATRIX)
+        assert len(scenarios) >= 8
+        assert {s.family for s in scenarios} == {"corpus"}
+        fixtures = {s.family_args["fixture"] for s in scenarios}
+        assert fixtures == set(DEFAULT_MATRIX_IDS)
+
+    def test_matrix_spec_respects_arguments(self):
+        spec = corpus_matrix_spec(
+            ids=("valid.uuid",), seeds=(7,), lengths_per_fixture=2
+        )
+        scenarios = expand_matrix(spec)
+        assert [s.length for s in scenarios] == [36]  # uuid suggests one length
+        assert scenarios[0].seed == 7
+
+    def test_matrix_spec_rejects_unknown_ids(self):
+        with pytest.raises(CorpusError):
+            corpus_matrix_spec(ids=("nope",))
+
+    def test_corpus_manifest_has_ground_truth_everywhere(self):
+        spec = corpus_matrix_spec(
+            ids=("log.http_status", "rpq.social.coworker_reach"), seeds=(5,)
+        )
+        manifest = run_matrix(spec)
+        validate_manifest(manifest)
+        for record in manifest["scenarios"]:
+            assert record["exact"] is not None
+            assert record["spec"]["family"] == "corpus"
+
+    def test_stats_rows_cover_requested_ids(self):
+        rows = corpus_stats(None, ["log.ipv4", "valid.email"])
+        assert [row["id"] for row in rows] == ["log.ipv4", "valid.email"]
+        assert all(row["states"] > 0 for row in rows)
+
+
+class TestCorpusCLI:
+    def test_list_mentions_every_fixture(self, capsys):
+        assert cli_main(["corpus", "list"]) == 0
+        out = capsys.readouterr().out
+        for corpus_id in ALL_IDS:
+            assert corpus_id in out
+
+    def test_verify_reports_ok(self, capsys):
+        assert cli_main(["corpus", "verify", "--id", "log.loglevel"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_build_then_verify_in_fresh_directory(self, tmp_path, capsys):
+        directory = str(tmp_path / "fixtures")
+        assert cli_main(["corpus", "build", "--dir", directory]) == 0
+        assert cli_main(["corpus", "verify", "--dir", directory]) == 0
+        assert "verified" in capsys.readouterr().out
+        assert len(load_corpus(directory)) == len(CORPUS_REGISTRY)
+
+    def test_stats_prints_a_table(self, capsys):
+        assert cli_main(["corpus", "stats", "--id", "valid.uuid"]) == 0
+        out = capsys.readouterr().out
+        assert "valid.uuid" in out and "states" in out
+
+    def test_unknown_id_exits_with_error(self, capsys):
+        assert cli_main(["corpus", "verify", "--id", "bogus"]) == 2
+        assert "unknown corpus id" in capsys.readouterr().err
+
+    def test_verify_fails_on_drifted_directory(self, tmp_path, capsys):
+        with open(fixture_path("lint.identifier"), "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        document["tags"] = ["drifted"]
+        document["digest"] = fixture_digest(document)
+        (tmp_path / "lint.identifier.json").write_text(json.dumps(document))
+        exit_code = cli_main(
+            ["corpus", "verify", "--id", "lint.identifier", "--dir", str(tmp_path)]
+        )
+        assert exit_code == 2
+        assert "source" in capsys.readouterr().err
+
+    def test_audit_accepts_builtin_corpus_matrix(self, tmp_path, capsys):
+        out_path = tmp_path / "corpus-manifest.json"
+        exit_code = cli_main(
+            ["audit", "--matrix", "corpus", "--output", str(out_path)]
+        )
+        assert exit_code == 0
+        with open(out_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        validate_manifest(manifest)
+        assert manifest["summary"]["scenario_count"] >= 8
+        assert cli_main(
+            ["audit-diff", str(out_path), str(out_path)]
+        ) == 0
+
+    def test_corpus_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CORPUS_DIR", str(tmp_path))
+        assert corpus_dir() == str(tmp_path)

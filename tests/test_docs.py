@@ -27,6 +27,7 @@ DOCTEST_MODULES = [
     "repro.counting.union",
     "repro.counting.fpras",
     "repro.counting.api",
+    "repro.corpus.registry",
 ]
 
 #: The floor CI enforces with ``tools/check_docstrings.py --fail-under 80``.

@@ -88,6 +88,36 @@ class TestParser:
         with pytest.raises(RegexSyntaxError):
             parse_regex(pattern)
 
+    def test_character_range(self):
+        assert parse_regex("[a-d]") == SymbolClass(("a", "b", "c", "d"))
+
+    def test_character_range_mixes_with_plain_members(self):
+        assert parse_regex("[a-c0-1x]") == SymbolClass(("a", "b", "c", "0", "1", "x"))
+
+    def test_dash_is_literal_at_class_edges(self):
+        assert parse_regex("[a-]") == SymbolClass(("a", "-"))
+        assert parse_regex("[-a]") == SymbolClass(("-", "a"))
+
+    def test_negated_class(self):
+        assert parse_regex("[^ab]") == SymbolClass(("a", "b"), negated=True)
+
+    def test_negated_class_with_range(self):
+        assert parse_regex("[^a-c]") == SymbolClass(("a", "b", "c"), negated=True)
+
+    def test_caret_is_literal_when_not_first(self):
+        assert parse_regex("[a^]") == SymbolClass(("a", "^"))
+
+    def test_escaped_caret_first_is_literal(self):
+        assert parse_regex(r"[\^a]") == SymbolClass(("^", "a"))
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["[z-a]", "[5-2]", "[^]", "[a-", "[a-\\", "[^", "[<a>-<b>]"],
+    )
+    def test_malformed_range_and_negation_errors(self, pattern):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(pattern)
+
 
 class TestCompile:
     @pytest.mark.parametrize(
@@ -158,3 +188,59 @@ class TestCompile:
         assert nfa.accepts("a")
         assert nfa.accepts("aa")
         assert not nfa.accepts("aaa")
+
+    def test_range_class_compiles(self):
+        nfa = compile_regex("[a-c]x", alphabet=("a", "b", "c", "d", "x"))
+        for symbol in ("a", "b", "c"):
+            assert nfa.accepts((symbol, "x"))
+        assert not nfa.accepts(("d", "x"))
+
+    def test_negated_class_complements_explicit_alphabet(self):
+        nfa = compile_regex("[^ab]c", alphabet=("a", "b", "c", "d"))
+        assert nfa.accepts(("c", "c"))
+        assert nfa.accepts(("d", "c"))
+        assert not nfa.accepts(("a", "c"))
+        assert not nfa.accepts(("b", "c"))
+
+    def test_negated_class_quoted_string_shape(self):
+        nfa = compile_regex('"[^"]*"', alphabet=('"', "x", "y"))
+        assert nfa.accepts(('"', "x", "y", '"'))
+        assert nfa.accepts(('"', '"'))
+        assert not nfa.accepts(('"', '"', '"'))
+
+    def test_negated_class_requires_explicit_alphabet(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_regex("[^ab]")
+
+    def test_negated_class_must_leave_some_symbol(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_regex("[^abc]", alphabet=("a", "b", "c"))
+
+    @pytest.mark.parametrize("backend_blind_pattern, alphabet, length", [
+        ("[a-c]+", ("a", "b", "c", "d"), 4),
+        ("[^a]([a-d])*", ("a", "b", "c", "d"), 3),
+        ("[0-9]{1,3}", tuple("0123456789"), 3),
+    ])
+    def test_range_and_negation_backend_parity(
+        self, backend_blind_pattern, alphabet, length
+    ):
+        # The three simulation backends must agree bit-for-bit on automata
+        # compiled from range/negation patterns (same estimate from the
+        # same seed, same exact count).
+        from repro.automata.engine import available_backends
+        from repro.counting.api import count
+
+        nfa = compile_regex(backend_blind_pattern, alphabet=alphabet)
+        backends = [b for b in available_backends() if b != "auto"]
+        exacts = set()
+        estimates = set()
+        for backend in backends:
+            exacts.add(count(nfa, length, method="exact", backend=backend).estimate)
+            estimates.add(
+                count(
+                    nfa, length, method="fpras", epsilon=0.5, delta=0.2,
+                    seed=7, backend=backend,
+                ).estimate
+            )
+        assert len(exacts) == 1
+        assert len(estimates) == 1

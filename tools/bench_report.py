@@ -1,4 +1,4 @@
-"""Emit a machine-readable performance snapshot (``BENCH_7.json``).
+"""Emit a machine-readable performance snapshot (``BENCH_8.json``).
 
 Since PR 7 the bench report *is* an audit manifest: the counting workloads
 are declared as scenario-matrix specs (:mod:`repro.audit.scenarios`) and
@@ -6,10 +6,13 @@ executed through the manifest pipeline (:mod:`repro.audit.manifest`), so
 the emitted document carries the full audit trail — git revision,
 python/numpy versions, per-scenario workload fingerprints, estimates vs.
 exact ground truth, observed relative error, median wall times and
-engine-counter deltas — and two consecutive ``BENCH_7.json`` artifacts can
+engine-counter deltas — and two consecutive ``BENCH_8.json`` artifacts can
 be gated with ``repro audit-diff`` exactly like the CI audit manifests.
-The serving-layer benchmarks (cold vs. cached ``POST /count`` against a
-real :class:`~repro.serve.server.CountingServer`) and the headline speedup
+Alongside the synthetic hot-path workloads the report times real-workload
+corpus fixtures (:mod:`repro.corpus` — log/lint/validation regexes and RPQ
+query classes) via :data:`CORPUS_SPEC`.  The serving-layer benchmarks
+(cold vs. cached ``POST /count`` against a real
+:class:`~repro.serve.server.CountingServer`) and the headline speedup
 ratios ride along in a ``bench`` extras section.
 
 Every workload is seeded (:data:`SEED`), so estimate drift across runs of
@@ -18,7 +21,7 @@ medians over ``--repeats`` runs on a warm engine registry.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_report.py --output BENCH_7.json
+    PYTHONPATH=src python tools/bench_report.py --output BENCH_8.json
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.audit.manifest import _numpy_version, run_scenarios, write_manifest
 from repro.audit.scenarios import Scenario, expand_matrix
+from repro.corpus import corpus_matrix_spec
 
 #: One seed for every workload in the report.
 SEED = 20240727
@@ -73,6 +77,17 @@ BENCH_SPECS: List[Mapping[str, object]] = [
     },
 ]
 
+#: Real-workload corpus fixtures in the bench mix: a dense log-token regex,
+#: the biggest validation pattern in the corpus (UUID, m=37 at n=36), and an
+#: RPQ query class over a multimodal transport alphabet.
+CORPUS_SPEC: Mapping[str, object] = corpus_matrix_spec(
+    ids=("log.http_status", "valid.uuid", "rpq.transport.single_flight"),
+    seeds=(SEED,),
+    epsilon=0.4,
+    delta=0.1,
+    scale=SCALE,
+)
+
 #: Appended to :data:`BENCH_SPECS` when numpy is importable.
 NUMPY_SPEC: Mapping[str, object] = {
     "families": [{"family": "divisibility", "args": {"divisor": 256},
@@ -87,7 +102,7 @@ NUMPY_SPEC: Mapping[str, object] = {
 
 def bench_scenarios() -> List[Scenario]:
     """The flat scenario list the bench manifest runs (numpy-gated)."""
-    specs = list(BENCH_SPECS)
+    specs = list(BENCH_SPECS) + [CORPUS_SPEC]
     if _numpy_version() is not None:
         specs.append(NUMPY_SPEC)
     scenarios: List[Scenario] = []
@@ -248,10 +263,10 @@ def build_report(repeats: int) -> Dict[str, object]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the smoke-scale bench matrix and write BENCH_7.json"
+        description="Run the smoke-scale bench matrix and write BENCH_8.json"
     )
     parser.add_argument(
-        "--output", default="BENCH_7.json", help="output path (default: %(default)s)"
+        "--output", default="BENCH_8.json", help="output path (default: %(default)s)"
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
