@@ -11,7 +11,9 @@ Each family targets a specific behaviour of the FPRAS:
   the per-state sample requirement;
 * ``blocks`` — automata whose slice counts alternate between dense and sparse
   across levels, stressing the per-level error accumulation (Inv-1);
-* ``ladder`` — long chains giving deep unrollings for runtime scaling.
+* ``ladder`` — long chains giving deep unrollings for runtime scaling;
+* ``random_nfa`` — seeded random ensembles (the E3 scaling workload),
+  addressable by ``seed`` / ``density`` like any other family.
 
 The :data:`FAMILY_REGISTRY` maps family names to constructors so that the
 benchmark harness and the CLI can reference workloads by name.
@@ -255,6 +257,34 @@ def corpus_nfa(fixture: str) -> NFA:
     return load_fixture_nfa(str(fixture))
 
 
+def random_nfa_family(
+    num_states: "int | str" = 6,
+    length: "int | str" = 10,
+    density: "float | str" = 0.3,
+    accepting_fraction: "float | str" = 0.3,
+    seed: "int | str" = 0,
+) -> NFA:
+    """A seeded random NFA with a guaranteed non-empty slice at ``length``.
+
+    Registry wrapper over
+    :func:`repro.automata.random_gen.random_nonempty_nfa` so the random
+    ensembles of experiment E3 are addressable like any named family —
+    ``{"family": "random_nfa", "args": {"num_states": 8, "seed": 3}}`` —
+    by the CLI, the audit scenario matrix and :func:`run_matrix`.
+    Deterministic per ``seed``.  Arguments are coerced (the CLI passes
+    ``key=value`` strings), so ``density=0.4`` works spelled either way.
+    """
+    from repro.automata.random_gen import random_nonempty_nfa
+
+    return random_nonempty_nfa(
+        int(num_states),
+        int(length),
+        density=float(density),
+        accepting_fraction=float(accepting_fraction),
+        seed=int(seed),
+    )
+
+
 FamilyBuilder = Callable[..., NFA]
 
 FAMILY_REGISTRY: Dict[str, FamilyBuilder] = {
@@ -268,6 +298,7 @@ FAMILY_REGISTRY: Dict[str, FamilyBuilder] = {
     "ladder": ladder_nfa,
     "no_consecutive_ones": no_consecutive_ones_nfa,
     "corpus": corpus_nfa,
+    "random_nfa": random_nfa_family,
 }
 
 

@@ -64,6 +64,26 @@ class ReachabilityCache:
     backend: Optional[str] = None
     engine: Optional[Engine] = None
     use_engine_cache: bool = True
+    #: Optional bound on cached words: when set, the cache is flushed back
+    #: to the empty word whenever it exceeds this many entries (keeping the
+    #: word just materialised).  ``None`` (the default) is the historical
+    #: unbounded behaviour, bit-identical including ``simulated_steps``.
+    max_words: Optional[int] = None
+    #: Optional bound on prefix caching: words longer than this skip
+    #: caching their intermediate prefixes (only the full word is stored).
+    #: Long-word streaming runs use it to keep one cached word O(word)
+    #: instead of O(word^2).  ``None`` (the default) caches every prefix,
+    #: the historical behaviour.  Both bounds only shift engine-level
+    #: diagnostics (``simulated_steps``, ``cache_words``); oracle answers
+    #: are unchanged.
+    prefix_limit: Optional[int] = None
+    #: Optional budget on the *total symbols* held by cached words.  A
+    #: ``max_words`` bound alone still lets 64 words of length 20k pin
+    #: megabytes; this budget flushes (same mechanics as ``max_words``,
+    #: keeping the word just materialised so incremental prefix chains
+    #: survive the flush) once the cached words jointly exceed it.
+    #: ``None`` (the default) is unbounded, the historical behaviour.
+    max_symbols: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.engine_cache_hit = False
@@ -78,6 +98,8 @@ class ReachabilityCache:
         self.batch_lookups = 0
         self.batch_words = 0
         self.batch_hits = 0
+        self.cache_flushes = 0
+        self._cached_symbols = 0
 
     def _materialise(self, word: Word) -> object:
         """Handle for ``word``, extending the longest cached prefix."""
@@ -90,10 +112,23 @@ class ReachabilityCache:
         while prefix_length > 0 and word[:prefix_length] not in cache:
             prefix_length -= 1
         current = cache[word[:prefix_length]]
+        store_prefixes = self.prefix_limit is None or len(word) <= self.prefix_limit
+        last = len(word) - 1
         for position in range(prefix_length, len(word)):
             current = engine.step(current, word[position])
             self.simulated_steps += 1
-            cache[word[: position + 1]] = current
+            if store_prefixes or position == last:
+                cache[word[: position + 1]] = current
+                self._cached_symbols += position + 1
+        if (self.max_words is not None and len(cache) > self.max_words) or (
+            self.max_symbols is not None
+            and self._cached_symbols > self.max_symbols
+        ):
+            cache.clear()
+            cache[()] = engine.initial
+            cache[word] = current
+            self._cached_symbols = len(word)
+            self.cache_flushes += 1
         return current
 
     def reachable_handle(self, word: "str | Word") -> object:
@@ -195,6 +230,9 @@ class UnrolledAutomaton:
         backend: Optional[str] = None,
         engine: Optional[Engine] = None,
         use_engine_cache: bool = True,
+        cache_max_words: Optional[int] = None,
+        cache_prefix_limit: Optional[int] = None,
+        cache_max_symbols: Optional[int] = None,
     ) -> None:
         if length < 0:
             raise AutomatonError("unrolling length must be non-negative")
@@ -209,11 +247,26 @@ class UnrolledAutomaton:
             )
         self.backend = self.engine.name
         self._counter_base: Dict[str, int] = dict(self.engine.counters())
-        self.cache = ReachabilityCache(nfa, engine=self.engine)
+        self.cache = ReachabilityCache(
+            nfa,
+            engine=self.engine,
+            max_words=cache_max_words,
+            prefix_limit=cache_prefix_limit,
+            max_symbols=cache_max_symbols,
+        )
         self._live_handles: List[object] = self._compute_live_handles()
-        self._live: List[FrozenSet[State]] = [
-            self.engine.decode(handle) for handle in self._live_handles
-        ]
+        # Live-set frozensets are decoded lazily: eager decoding cost
+        # O(n * m) up front even for runs that only ever touch handles, and
+        # for n in the tens of thousands it dominated construction time.
+        # ``live_states`` memoises per level, so the decoded view is still
+        # paid for at most once per level.
+        self._live_sets: List[Optional[FrozenSet[State]]] = [None] * (
+            length + 1
+        )
+        # Latest witness per state (bounded: one entry per NFA state).  The
+        # backward witness walk is deterministic, so a memoised word for
+        # ``(state, level)`` is exactly what re-walking would produce.
+        self._witness_memo: Dict[State, Tuple[int, Word]] = {}
 
     # ------------------------------------------------------------------
     # Structure
@@ -227,9 +280,17 @@ class UnrolledAutomaton:
         return levels
 
     def live_states(self, level: int) -> FrozenSet[State]:
-        """States ``q`` whose language slice ``L(q^level)`` is non-empty."""
+        """States ``q`` whose language slice ``L(q^level)`` is non-empty.
+
+        Decoded from the level's handle on first use and memoised; hot
+        paths work on handles and may never trigger the decode at all.
+        """
         self._check_level(level)
-        return self._live[level]
+        decoded = self._live_sets[level]
+        if decoded is None:
+            decoded = self.engine.decode(self._live_handles[level])
+            self._live_sets[level] = decoded
+        return decoded
 
     def live_handle(self, level: int) -> object:
         """Engine handle of :meth:`live_states` (hot-path variant)."""
@@ -251,7 +312,7 @@ class UnrolledAutomaton:
         self._check_level(level)
         if level == 0:
             return frozenset()
-        return self.nfa.predecessors(state, symbol) & self._live[level - 1]
+        return self.nfa.predecessors(state, symbol) & self.live_states(level - 1)
 
     def predecessor_handle(self, handle: object, symbol: Symbol, level: int) -> object:
         """``Pred(Q', b)`` of a handle, restricted to live states (hot path)."""
@@ -355,14 +416,27 @@ class UnrolledAutomaton:
         """One word of ``L(state^level)``, or ``None`` if the slice is empty.
 
         Used by Algorithm 3's padding step.  Found by walking backwards from
-        ``(state, level)`` through live predecessor layers.
+        ``(state, level)`` through live predecessor layers.  Because the walk
+        is deterministic (smallest live predecessor by ``repr``, first
+        matching symbol), each state's latest witness is memoised and the
+        walk short-circuits when it reaches a state whose memoised witness is
+        at the current level — the remaining descent would reproduce exactly
+        that word.  The memo holds one entry per NFA state, so it is bounded
+        by ``m`` regardless of the unrolling length.
         """
         self._check_level(level)
         if not self.is_live(state, level):
             return None
+        memo = self._witness_memo
         suffix: List[Symbol] = []
         current = state
+        word: Optional[Word] = None
         for current_level in range(level, 0, -1):
+            hit = memo.get(current)
+            if hit is not None and hit[0] == current_level:
+                suffix.reverse()
+                word = hit[1] + tuple(suffix)
+                break
             step_found = False
             for symbol in self.nfa.alphabet:
                 candidates = self.predecessors(current, symbol, current_level)
@@ -374,8 +448,11 @@ class UnrolledAutomaton:
                     break
             if not step_found:  # pragma: no cover - liveness guarantees a predecessor
                 return None
-        suffix.reverse()
-        return tuple(suffix)
+        if word is None:
+            suffix.reverse()
+            word = tuple(suffix)
+        memo[state] = (level, word)
+        return word
 
     def slice_size_upper_bound(self, level: int) -> int:
         """Trivial upper bound ``|alphabet|^level`` used for sanity checks."""
@@ -402,6 +479,7 @@ class UnrolledAutomaton:
         counters["cache_batch_lookups"] = self.cache.batch_lookups
         counters["cache_batch_words"] = self.cache.batch_words
         counters["cache_batch_hits"] = self.cache.batch_hits
+        counters["cache_flushes"] = self.cache.cache_flushes
         counters["engine_cache_hit"] = int(self.engine_cache_hit)
         return counters
 

@@ -79,6 +79,12 @@ def _method_options(args: argparse.Namespace) -> dict:
         options["sample_cap"] = args.sample_cap
     if getattr(args, "shards", None) is not None:
         options["shards"] = args.shards
+    if getattr(args, "store", None) is not None:
+        options["store"] = args.store
+    if getattr(args, "window", None) is not None:
+        options["window"] = args.window
+    if getattr(args, "details", None) is not None:
+        options["details"] = args.details
     return options
 
 
@@ -128,6 +134,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
     if report.method == "fpras":
         details["samples_per_state (ns)"] = report.raw.ns
         details["sampling_attempts (xns)"] = report.raw.xns
+        if "store" in report.details:
+            details["store"] = report.details["store"]
+            details["window"] = report.details["window"]
+            details["spilled_levels"] = report.engine_counters.get(
+                "store_spilled_levels", 0
+            )
     elif report.method == "acjr":
         details["samples_per_state (ns)"] = report.raw.ns
     elif report.method == "montecarlo":
@@ -435,6 +447,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="fpras: shard-plan size for parallel execution (default: 1 = the "
         "serial plan; the plan, and hence the estimate, is independent of "
         "--workers)",
+    )
+    count.add_argument(
+        "--store",
+        choices=["dict", "windowed"],
+        default=None,
+        help="fpras: state-table store — 'dict' keeps every level resident "
+        "(default), 'windowed' keeps a sliding window of sample lists and "
+        "spills older levels to disk; estimates and RNG streams are "
+        "bit-identical either way",
+    )
+    count.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="fpras: levels of sample lists kept resident by --store "
+        "windowed (default: 4)",
+    )
+    count.add_argument(
+        "--details",
+        choices=["full", "summary"],
+        default=None,
+        help="fpras: 'summary' replaces the per-state tables in the result "
+        "with a compact digest (default: full)",
     )
     count.add_argument("--exact", action="store_true", help="exact count only")
     count.add_argument(

@@ -253,6 +253,7 @@ def _raw_to_plain(raw: object) -> object:
             "engine_counters": {
                 str(key): value for key, value in raw.engine_counters.items()
             },
+            "table_summary": _plain_value(raw.table_summary),
         }
     if isinstance(raw, ACJRResult):
         return {
@@ -311,6 +312,7 @@ def _raw_from_plain(document: object) -> object:
             sample_counts=_table_from_rows(document["sample_counts"]),
             backend=document["backend"],
             engine_counters=dict(document["engine_counters"]),
+            table_summary=dict(document.get("table_summary") or {}),
         )
     if kind == "acjr":
         return ACJRResult(
@@ -631,6 +633,9 @@ def fpras_parameters(request: CountRequest) -> FPRASParameters:
         seed=request.integer_seed(),
         backend=request.backend,
         use_engine_cache=request.use_engine_cache,
+        store=request.option("store", "dict"),
+        window=request.option("window", 4),
+        details=request.option("details", "full"),
     )
 
 
@@ -652,7 +657,7 @@ def _engine_counter_deltas(engine, base: Dict[str, int], from_cache: bool) -> Di
 @register_method(
     "fpras",
     summary="the paper's FPRAS (Algorithm 3)",
-    options=("scale", "shards"),
+    options=("scale", "shards", "store", "window", "details"),
     supports_workers=True,
 )
 def _run_fpras(
@@ -703,6 +708,14 @@ def _run_fpras(
             "membership_calls": result.membership_calls,
             "sample_draws": result.sample_draws,
             "padded_states": result.padded_states,
+            **(
+                {
+                    "store": request.option("store", "dict"),
+                    "window": request.option("window", 4),
+                }
+                if request.option("store", "dict") != "dict"
+                else {}
+            ),
             **parallel_details,
         },
         raw=result,
@@ -944,6 +957,15 @@ def count_with_progress(
 # ----------------------------------------------------------------------
 # Request canonicalisation (the serving layer's cache key)
 # ----------------------------------------------------------------------
+#: Per-method options that can never change an estimate — the state-table
+#: store and its window only move table entries between RAM and spill (the
+#: parity contract in :mod:`repro.counting.store`), and ``details`` only
+#: selects how much of the tables a report embeds.  Like ``workers``, they
+#: are excluded from the cache key so one cached answer serves every
+#: store/report configuration.
+RESULT_NEUTRAL_OPTIONS = frozenset({"store", "window", "details"})
+
+
 def canonical_request_knobs(request: CountRequest, length: int) -> Dict[str, object]:
     """The normalised knob mapping a result-cache key is derived from.
 
@@ -955,11 +977,17 @@ def canonical_request_knobs(request: CountRequest, length: int) -> Dict[str, obj
     deliberately absent: the sharded executor's plan-invariance contract
     makes estimates bit-identical across worker counts, and the engine
     registry never changes results — so one cached answer serves every
-    worker configuration.
+    worker configuration.  Result-neutral per-method options
+    (:data:`RESULT_NEUTRAL_OPTIONS` — the fpras ``store`` / ``window`` /
+    ``details`` knobs) are filtered out for the same reason.
 
     >>> a = CountRequest(method="fpras", seed=7, options={"shards": 2})
     >>> b = CountRequest(method="fpras", seed=7, workers=4, options={"shards": 2})
     >>> canonical_request_knobs(a, 8) == canonical_request_knobs(b, 8)
+    True
+    >>> c = CountRequest(method="fpras", seed=7,
+    ...                  options={"shards": 2, "store": "windowed", "window": 8})
+    >>> canonical_request_knobs(c, 8) == canonical_request_knobs(a, 8)
     True
     """
     if isinstance(request.seed, random.Random):
@@ -973,7 +1001,11 @@ def canonical_request_knobs(request: CountRequest, length: int) -> Dict[str, obj
         "delta": float(request.delta),
         "seed": request.seed,
         "backend": request.backend,
-        "options": {key: request.options[key] for key in sorted(request.options)},
+        "options": {
+            key: request.options[key]
+            for key in sorted(request.options)
+            if key not in RESULT_NEUTRAL_OPTIONS
+        },
     }
 
 

@@ -30,6 +30,7 @@ from repro.automata.nfa import NFA, State, Word
 from repro.automata.unroll import UnrolledAutomaton
 from repro.counting.params import FPRASParameters, ParameterScale
 from repro.counting.sampler import SampleDraw, SamplerStatistics
+from repro.counting.store import create_store
 from repro.counting.union import SetAccess, approximate_union
 from repro.errors import EmptyLanguageError, ParameterError
 
@@ -59,9 +60,16 @@ class CountResult:
         (the ``SmallS`` event of Lemma 5).
     state_estimates:
         The full table ``N(q^l)`` (used by accuracy experiments and by the
-        uniform word sampler).
+        uniform word sampler).  Empty when the run was made with
+        ``details="summary"`` — see :attr:`table_summary`.
     sample_counts:
         Number of genuinely drawn (non-padding) samples per (state, level).
+        Empty under ``details="summary"``.
+    table_summary:
+        Under ``details="summary"``, a compact digest of the per-state
+        tables (entry counts plus the final level's estimates) so reports
+        stay small for large ``n``; empty under the default
+        ``details="full"``.
     backend:
         Name of the simulation engine the run used (``"bitset"`` /
         ``"reference"``).
@@ -96,6 +104,7 @@ class CountResult:
     sample_counts: Dict[StateLevel, int] = field(default_factory=dict)
     backend: str = "unknown"
     engine_counters: Dict[str, int] = field(default_factory=dict)
+    table_summary: Dict[str, object] = field(default_factory=dict)
 
     def relative_error(self, exact: int) -> float:
         """``|estimate - exact| / exact`` (``inf`` when ``exact`` is 0 and estimate isn't)."""
@@ -147,19 +156,59 @@ class NFACounter:
         self.parameters = parameters if parameters is not None else FPRASParameters()
         seed = self.parameters.seed
         self.rng = rng if rng is not None else random.Random(seed)
+        if self.parameters.store == "windowed":
+            # Windowed runs bound the reachability cache too (otherwise its
+            # per-prefix memoisation is O(n^2) and would dominate exactly
+            # the long-word runs the window exists for).  Membership answers
+            # are unchanged — only engine-level diagnostics shift, which are
+            # outside the parity contract like the store counters.
+            cache_max_words: Optional[int] = max(64, self.parameters.window * 16)
+            cache_prefix_limit: Optional[int] = 64
+            cache_max_symbols: Optional[int] = 65536
+        else:
+            cache_max_words = None
+            cache_prefix_limit = None
+            cache_max_symbols = None
         self.unroll = UnrolledAutomaton(
             nfa,
             length,
             backend=self.parameters.backend,
             use_engine_cache=self.parameters.use_engine_cache,
+            cache_max_words=cache_max_words,
+            cache_prefix_limit=cache_prefix_limit,
+            cache_max_symbols=cache_max_symbols,
         )
-        self.estimates: Dict[StateLevel, float] = {}
-        self.samples: Dict[StateLevel, List[Word]] = {}
+        # The state-table store decides where the N / S tables live (all
+        # resident for "dict", sliding sample window for "windowed"); the
+        # bound views keep every call site — including the sampler and the
+        # sharded executor — working against ``counter.estimates`` /
+        # ``counter.samples`` exactly as before.  For the default DictStore
+        # the views *are* plain dicts.
+        self.store = create_store(self.parameters.store, self.parameters.window)
+        self.estimates = self.store.estimates
+        self.samples = self.store.samples
+        self._sample_counts = self.store.sample_counts
         self.sampler_statistics = SamplerStatistics()
+        # Cross-batch descent memo (ParameterScale.reuse_descent_steps):
+        # one slot per level, shared by every per-batch SampleDraw this
+        # counter creates, so randomness-free steps are derived once per
+        # (level, state-set) instead of once per draw.  The slot layout and
+        # the intern table keep the memo O(n) *pointers* — a requirement of
+        # the streaming memory bound — rather than O(n) tuples; identical
+        # entries (common on sparse chains, where every level looks the
+        # same) collapse to one shared object.  None keeps the historical
+        # behaviour.
+        if self.parameters.scale.reuse_descent_steps:
+            self._step_memo: Optional[List[Optional[tuple]]] = [None] * (
+                length + 1
+            )
+            self._step_intern: Optional[Dict[tuple, tuple]] = {}
+        else:
+            self._step_memo = None
+            self._step_intern = None
         self._union_calls = 0
         self._membership_calls = 0
         self._padded_states = 0
-        self._sample_counts: Dict[StateLevel, int] = {}
         self._has_run = False
 
     # ------------------------------------------------------------------
@@ -217,6 +266,14 @@ class NFACounter:
         estimate = self._final_estimate(beta, eta)
         elapsed = time.perf_counter() - start
         self._has_run = True
+        if self.parameters.details == "summary":
+            state_estimates: Dict[StateLevel, float] = {}
+            sample_counts: Dict[StateLevel, int] = {}
+            table_summary = self.table_summary()
+        else:
+            state_estimates = dict(self.estimates)
+            sample_counts = dict(self._sample_counts)
+            table_summary = {}
         return CountResult(
             estimate=estimate,
             length=n,
@@ -232,11 +289,36 @@ class NFACounter:
             sample_draws=self.sampler_statistics.draws,
             sample_successes=self.sampler_statistics.successes,
             padded_states=self._padded_states,
-            state_estimates=dict(self.estimates),
-            sample_counts=dict(self._sample_counts),
+            state_estimates=state_estimates,
+            sample_counts=sample_counts,
             backend=self.unroll.backend,
-            engine_counters=self.unroll.engine_counters(),
+            engine_counters=self.diagnostics_counters(),
+            table_summary=table_summary,
         )
+
+    def diagnostics_counters(self) -> Dict[str, int]:
+        """Engine counters plus the store's ``store_*`` activity counters.
+
+        Both families are representation-level diagnostics: excluded from
+        the locked-counter and parity suites, reported for benchmarks and
+        audits.
+        """
+        counters = self.unroll.engine_counters()
+        counters.update(self.store.counters())
+        return counters
+
+    def table_summary(self) -> Dict[str, object]:
+        """Compact digest of the N / S tables (the ``details="summary"`` body)."""
+        final = {
+            str(state): self.estimates.get((state, self.length), 0.0)
+            for state in sorted(self.unroll.accepting_live_states(), key=repr)
+        }
+        return {
+            "mode": "summary",
+            "estimate_entries": len(self.estimates),
+            "sample_count_entries": len(self._sample_counts),
+            "final_level_estimates": final,
+        }
 
     # ------------------------------------------------------------------
     # Steps of Algorithm 3
@@ -278,7 +360,13 @@ class NFACounter:
         self.estimates[(state, level)] = estimate
 
         drawer = SampleDraw(
-            self.unroll, self.estimates, self.samples, self.parameters, rng
+            self.unroll,
+            self.estimates,
+            self.samples,
+            self.parameters,
+            rng,
+            step_memo=self._step_memo,
+            step_intern=self._step_intern,
         )
         gamma0 = self.parameters.gamma0(estimate)
         eta_sample = eta / max(1, 2 * xns)
@@ -316,12 +404,24 @@ class NFACounter:
         n = self.length
         beta_prime = (1.0 + beta) ** (level - 1) - 1.0
         delta_union = eta / (2.0 * (1.0 - 2.0 ** -(n + 1)))
+        singleton_exact = self.parameters.scale.singleton_union_exact
         total = 0.0
         for symbol in self.nfa.alphabet:
             predecessors = self.unroll.predecessors(state, symbol, level)
             if not predecessors:
                 continue
             ordered = sorted(predecessors, key=repr)
+            if singleton_exact and len(ordered) == 1:
+                # A one-set union is the set: every AppUnion trial draws
+                # index 0 and is unique, so the estimate equals the stored
+                # size estimate exactly (0 for a zero-sized set).  The
+                # shortcut skips the trials — no RNG, no sample reads, no
+                # union/membership counter increments (documented on the
+                # ``singleton_union_exact`` knob).
+                total += max(
+                    0.0, float(self.estimates.get((ordered[0], level - 1), 0.0))
+                )
+                continue
             accesses = [
                 SetAccess(
                     oracle=self.unroll.membership_oracle(predecessor),

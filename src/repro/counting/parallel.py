@@ -114,6 +114,16 @@ _MC_DRAW_BLOCK = 8192
 #: Name recorded in report details for the substream derivation scheme.
 SEED_DERIVATION_SCHEME = "sha256(root, *path)[:8]"
 
+#: Table-sync entries per broadcast message.  Splitting a level's merged
+#: ``N`` / ``S`` entries into bounded, order-preserving chunks keeps the
+#: per-message payload proportional to the chunk (not to the live-state
+#: count times the word length), which matters once the windowed store
+#: raises the practical word-length ceiling.  Chunking changes neither the
+#: installed values nor their order, so every worker's tables — and, for
+#: windowed stores, their window advance/spill sequence — are identical to
+#: a single monolithic sync.
+SYNC_CHUNK_ENTRIES = 64
+
 #: An anytime-progress callback: called with a small plain-dict snapshot
 #: after every completed unit of work (fpras: one level of the dynamic
 #: program; montecarlo: one wave of samples).  Callbacks run on the
@@ -324,7 +334,7 @@ def _run_shard(
     """
     rng = random.Random(shard_seed)
     stats_before = counter.work_statistics()
-    engine_before = counter.unroll.engine_counters()
+    engine_before = counter.diagnostics_counters()
     beta, eta, ns, xns = counter.derived_parameters()
     entries = []
     for state in states:
@@ -339,7 +349,7 @@ def _run_shard(
             )
         )
     stats_after = counter.work_statistics()
-    engine_after = counter.unroll.engine_counters()
+    engine_after = counter.diagnostics_counters()
     return {
         "entries": entries,
         "stats": {
@@ -697,6 +707,12 @@ def _finish_pool(
 # ----------------------------------------------------------------------
 # FPRAS sharded execution
 # ----------------------------------------------------------------------
+def _sync_entries(pool: _WorkerPool, entries: Sequence[Tuple]) -> None:
+    """Broadcast merged table entries in bounded, order-preserving chunks."""
+    for start in range(0, len(entries), SYNC_CHUNK_ENTRIES):
+        pool.broadcast(("sync", entries[start : start + SYNC_CHUNK_ENTRIES]))
+
+
 def run_fpras_sharded(
     nfa: NFA,
     length: int,
@@ -763,19 +779,17 @@ def run_fpras_sharded(
                 pool_manager,
             )
             initial = coordinator.nfa.initial
-            pool.broadcast(
-                (
-                    "sync",
-                    [
-                        (
-                            initial,
-                            0,
-                            coordinator.estimates[(initial, 0)],
-                            coordinator.samples[(initial, 0)],
-                            coordinator._sample_counts[(initial, 0)],
-                        )
-                    ],
-                )
+            _sync_entries(
+                pool,
+                [
+                    (
+                        initial,
+                        0,
+                        coordinator.estimates[(initial, 0)],
+                        coordinator.samples[(initial, 0)],
+                        coordinator._sample_counts[(initial, 0)],
+                    )
+                ],
             )
         for level in range(1, length + 1):
             states = sorted(coordinator.unroll.live_states(level), key=repr)
@@ -809,7 +823,7 @@ def run_fpras_sharded(
                         task_engine[key] = task_engine.get(key, 0) + value
                 for state, lvl, estimate, samples, drawn in level_entries:
                     coordinator.install_state(state, lvl, estimate, samples, drawn)
-                pool.broadcast(("sync", level_entries))
+                _sync_entries(pool, level_entries)
             if progress is not None:
                 progress(
                     {
@@ -830,9 +844,17 @@ def run_fpras_sharded(
     stats = coordinator.work_statistics()
     for key, value in task_stats.items():
         stats[key] += value
-    engine_counters = coordinator.unroll.engine_counters()
+    engine_counters = coordinator.diagnostics_counters()
     for key, value in task_engine.items():
         engine_counters[key] = engine_counters.get(key, 0) + value
+    if parameters.details == "summary":
+        state_estimates: Dict = {}
+        sample_counts: Dict = {}
+        table_summary = coordinator.table_summary()
+    else:
+        state_estimates = dict(coordinator.estimates)
+        sample_counts = dict(coordinator._sample_counts)
+        table_summary = {}
     result = CountResult(
         estimate=estimate,
         length=length,
@@ -847,10 +869,11 @@ def run_fpras_sharded(
         sample_draws=stats["sample_draws"],
         sample_successes=stats["sample_successes"],
         padded_states=stats["padded_states"],
-        state_estimates=dict(coordinator.estimates),
-        sample_counts=dict(coordinator._sample_counts),
+        state_estimates=state_estimates,
+        sample_counts=sample_counts,
         backend=coordinator.unroll.backend,
         engine_counters=engine_counters,
+        table_summary=table_summary,
     )
     details = {
         "workers": workers,

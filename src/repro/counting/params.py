@@ -79,6 +79,34 @@ class ParameterScale:
         a per-set sample list runs dry (Algorithm 1, line 8).  The scaled
         default instead cycles through a shuffled copy, which avoids
         systematically under-counting when ``ns`` is small.
+    singleton_union_exact:
+        Opt-in shortcut for unions of a *single* set: with one set every
+        AppUnion trial draws index 0, is always unique, and the estimate is
+        exactly the stored size estimate (0 for an empty/zero-sized set).
+        When enabled, singleton unions return that value directly without
+        running trials — the value is bit-identical to the full AppUnion,
+        but the shortcut consumes no randomness and performs no membership
+        or sample reads, so the ``union_calls`` / ``membership_calls``
+        counters and the RNG stream differ from a run with the knob off.
+        Off by default (preserving every historical stream); the long-word
+        benchmarks turn it on because it makes the backward sampler's
+        descent read-free on sparse automata.
+    reuse_descent_steps:
+        Opt-in memo for the backward sampler's descent.  A descent step at
+        ``(level, state-set)`` whose per-symbol union estimates were all
+        produced *without consuming randomness* (empty predecessor sets or
+        the ``singleton_union_exact`` path) is a pure function of the frozen
+        lower-level tables, so later draws replay it from a memo instead of
+        re-deriving predecessor handles and union estimates.  Replay
+        consumes exactly the same randomness as recomputation (the one
+        symbol-choice ``random()`` per level), so estimates, RNG streams and
+        every parity counter are bit-identical with the knob on or off —
+        the only observable difference is the ``union_cache_hits``
+        diagnostic (replayed steps skip the per-batch union cache).  Steps
+        whose unions actually run AppUnion are never memoised: they must
+        re-randomise per batch, and they still do.  Off by default; the
+        long-word benchmarks enable it together with
+        ``singleton_union_exact`` to make ``n >> 10^4`` runs tractable.
 
     >>> ParameterScale.practical().mode
     'scaled'
@@ -96,6 +124,8 @@ class ParameterScale:
     reuse_union_estimates: bool = True
     faithful_perturbation: bool = False
     strict_sample_consumption: bool = False
+    singleton_union_exact: bool = False
+    reuse_descent_steps: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in ("paper", "scaled"):
@@ -171,6 +201,15 @@ class FPRASParameters:
     shared seed — the three-way parity suite enforces it — so the choice
     only affects speed.
 
+    ``store`` selects the state-table layout the dynamic program fills
+    (see :mod:`repro.counting.store`): ``"dict"`` (the default) keeps every
+    level's tables resident — the historical behaviour, bit-identical by
+    construction — while ``"windowed"`` retains only ``window`` recent
+    levels of sample lists resident, spilling older levels to a compressed
+    temporary file and faulting them back on read.  Estimates, RNG streams
+    and the algorithm-level work counters are bit-identical across stores;
+    only memory (and wall time on deep cross-level reads) changes.
+
     ``use_engine_cache`` controls whether the run acquires its engine from
     the shared :class:`~repro.automata.engine.EngineRegistry` (the default;
     repeated runs on the same automaton skip rebuilding transition tables)
@@ -198,6 +237,9 @@ class FPRASParameters:
     seed: Optional[int] = None
     backend: Optional[str] = None
     use_engine_cache: bool = True
+    store: str = "dict"
+    window: int = 4
+    details: str = "full"
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon:
@@ -210,6 +252,17 @@ class FPRASParameters:
             raise ParameterError(
                 f"unknown simulation backend {self.backend!r}; "
                 f"available: {list(available_backends())}"
+            )
+        # Late import: repro.counting.store has no dependency back on this
+        # module's dataclasses, but keeping the import local avoids a cycle
+        # at package-import time.
+        from repro.counting.store import validate_store, validate_window
+
+        validate_store(self.store)
+        validate_window(self.window)
+        if self.details not in ("full", "summary"):
+            raise ParameterError(
+                f"details must be 'full' or 'summary', got {self.details!r}"
             )
 
     # ------------------------------------------------------------------
@@ -315,6 +368,8 @@ class FPRASParameters:
             "scale_mode": self.scale.mode,
             "backend": self.backend,
             "engine_cache": self.use_engine_cache,
+            "store": self.store,
+            "window": self.window,
         }
 
 

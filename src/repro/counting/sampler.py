@@ -100,6 +100,8 @@ class SampleDraw:
         samples: Mapping[StateLevel, Sequence[Word]],
         parameters: FPRASParameters,
         rng: Optional[random.Random] = None,
+        step_memo: Optional[List[Optional[tuple]]] = None,
+        step_intern: Optional[Dict[tuple, tuple]] = None,
     ) -> None:
         self.unroll = unroll
         self.estimates = estimates
@@ -108,6 +110,16 @@ class SampleDraw:
         self.rng = rng if rng is not None else random.Random()
         self.statistics = SamplerStatistics()
         self._union_cache: Dict[Tuple[int, object], float] = {}
+        # Cross-batch descent memo (see ParameterScale.reuse_descent_steps):
+        # owned by the caller so it outlives this per-batch instance.  One
+        # slot per level — ``(state-set handle, weights, branch handles,
+        # total)`` — interned through ``step_intern`` so levels with equal
+        # step data share one tuple.  Only randomness-free steps are ever
+        # stored, which is what makes replay bit-identical to recomputation;
+        # a slot holding a different state-set than the descent's current
+        # one simply recomputes (and takes over the slot).
+        self._step_memo = step_memo
+        self._step_intern = step_intern
 
     # ------------------------------------------------------------------
     # Public API
@@ -131,33 +143,91 @@ class SampleDraw:
         self.statistics.draws += 1
         eta_prime = eta / max(1, 4 * self.unroll.length)
 
+        # The walk is the innermost loop of the whole FPRAS (every draw
+        # descends ``level`` levels), so locals are hoisted and the word is
+        # accumulated in a list (appending the symbols in reverse order and
+        # reversing once at the end) instead of the historical
+        # ``(symbol,) + word`` tuple prepend, which cost O(level) per step
+        # and made long words quadratic.  The RNG call sequence — one
+        # ``random()`` per level in ``_choose_symbol`` plus whatever the
+        # union estimates consume — is unchanged, so the rework is
+        # bit-identical.
         engine = self.unroll.engine
+        predecessor_handle = self.unroll.predecessor_handle
+        is_empty = engine.is_empty
+        estimate_union = self._estimate_union
+        alphabet = self.unroll.nfa.alphabet
+        last_index = len(alphabet) - 1
+        step_memo = self._step_memo
+        statistics = self.statistics
+        rng_random = self.rng.random
         phi = gamma0
-        word: Word = ()
+        reversed_word: List[Symbol] = []
         current = engine.encode(states)
         for current_level in range(level, 0, -1):
-            beta_prime = (1.0 + beta) ** (current_level - 1) - 1.0
+            if step_memo is not None:
+                entry = step_memo[current_level]
+                if entry is not None and entry[0] == current:
+                    # Replay of a randomness-free step: the same single
+                    # ``random()`` the slow path's ``_choose_symbol`` would
+                    # consume, the same running-sum tie-breaking, the same
+                    # branch probability — nothing observable differs.
+                    _, weights, branch_handles, total = entry
+                    point = rng_random() * total
+                    running = 0.0
+                    index = last_index
+                    for position, weight in enumerate(weights):
+                        running += weight
+                        if point <= running:
+                            index = position
+                            break
+                    phi /= weights[index] / total
+                    reversed_word.append(alphabet[index])
+                    current = branch_handles[index]
+                    continue
+                union_calls_before = statistics.union_calls
+                union_hits_before = statistics.union_cache_hits
             symbol_estimates: Dict[Symbol, float] = {}
             symbol_predecessors: Dict[Symbol, object] = {}
-            for symbol in self.unroll.nfa.alphabet:
-                predecessors = self.unroll.predecessor_handle(
-                    current, symbol, current_level
-                )
+            for symbol in alphabet:
+                predecessors = predecessor_handle(current, symbol, current_level)
                 symbol_predecessors[symbol] = predecessors
-                if engine.is_empty(predecessors):
+                if is_empty(predecessors):
                     symbol_estimates[symbol] = 0.0
                     continue
-                symbol_estimates[symbol] = self._estimate_union(
-                    predecessors, current_level - 1, beta, eta_prime, beta_prime
+                symbol_estimates[symbol] = estimate_union(
+                    predecessors, current_level - 1, beta, eta_prime
                 )
             total = sum(symbol_estimates.values())
             if total <= 0.0:
                 self.statistics.failures_no_mass += 1
                 return None
+            if (
+                step_memo is not None
+                and statistics.union_calls == union_calls_before
+                and statistics.union_cache_hits == union_hits_before
+            ):
+                # Every estimate above came from an intrinsically
+                # randomness-free path (empty predecessors or the
+                # singleton-exact shortcut) over frozen lower-level tables,
+                # so the step may be replayed verbatim by any later draw —
+                # including across batches and sharded workers.  Steps that
+                # touched AppUnion (or even its per-batch cache) are left
+                # out: they re-randomise per batch and must keep doing so.
+                entry = (
+                    current,
+                    tuple(symbol_estimates[symbol] for symbol in alphabet),
+                    tuple(symbol_predecessors[symbol] for symbol in alphabet),
+                    total,
+                )
+                intern = self._step_intern
+                if intern is not None:
+                    entry = intern.setdefault(entry, entry)
+                step_memo[current_level] = entry
             symbol = self._choose_symbol(symbol_estimates, total)
             branch_probability = symbol_estimates[symbol] / total
             phi /= branch_probability
-            word = (symbol,) + word
+            reversed_word.append(symbol)
             current = symbol_predecessors[symbol]
 
         # Base case (level 0).
@@ -166,7 +236,8 @@ class SampleDraw:
             return None
         if self.rng.random() < phi:
             self.statistics.successes += 1
-            return word
+            reversed_word.reverse()
+            return tuple(reversed_word)
         self.statistics.failures_rejection += 1
         return None
 
@@ -183,21 +254,37 @@ class SampleDraw:
         level: int,
         beta: float,
         eta_prime: float,
-        beta_prime: float,
     ) -> float:
         """``AppUnion`` over ``{L(p^level) : p in predecessors}``.
 
         ``predecessors`` is an engine handle; it doubles as the memoisation
-        key (handles are hashable and equality matches set equality).
+        key (handles are hashable and equality matches set equality).  The
+        size slack ``beta_prime = (1 + beta)^level - 1`` is derived here,
+        on the paths that actually run AppUnion — cache hits and the
+        singleton shortcut never need it, which keeps the descent free of a
+        ``pow`` per level.
         """
         cache_key = (level, predecessors)
-        if self.parameters.scale.reuse_union_estimates:
+        reuse = self.parameters.scale.reuse_union_estimates
+        if reuse:
             cached = self._union_cache.get(cache_key)
             if cached is not None:
                 self.statistics.union_cache_hits += 1
                 return cached
 
         ordered = sorted(self.unroll.engine.decode(predecessors), key=repr)
+        if self.parameters.scale.singleton_union_exact and len(ordered) == 1:
+            # Value-exact shortcut (see ParameterScale.singleton_union_exact):
+            # a one-set union estimate is exactly the stored size estimate.
+            # No trials run, so no RNG, sample reads or union/membership
+            # counter increments happen on this path.
+            estimate = max(
+                0.0, float(self.estimates.get((ordered[0], level), 0.0))
+            )
+            if reuse:
+                self._union_cache[cache_key] = estimate
+            return estimate
+        beta_prime = (1.0 + beta) ** level - 1.0
         accesses: List[SetAccess] = []
         for state in ordered:
             accesses.append(
@@ -219,7 +306,7 @@ class SampleDraw:
         )
         self.statistics.union_calls += 1
         self.statistics.membership_calls += result.membership_calls
-        if self.parameters.scale.reuse_union_estimates:
+        if reuse:
             self._union_cache[cache_key] = result.estimate
         return result.estimate
 

@@ -35,7 +35,6 @@ from repro.counting.uniform import UniformWordSampler
 from repro.errors import ExperimentError
 from repro.workloads.generator import (
     scaling_suite_epsilon,
-    scaling_suite_length,
     scaling_suite_states,
 )
 
@@ -322,19 +321,66 @@ def run_scaling_length(
     backend: Optional[str] = None,
     **_ignored: object,
 ) -> ExperimentResult:
-    """Runtime growth with the word length n (Theorem 3's n-dependence)."""
+    """Runtime growth with the word length n (Theorem 3's n-dependence).
+
+    Ported onto the declarative scenario matrix like E1/E2/E8: the workload
+    is one ``random_nfa`` family cell — the registered form of the old
+    ``scaling_suite_length`` generator automaton (same ``num_states``,
+    ``density`` and construction seed) — swept over the length axis and
+    crossed with the estimator methods, so every E3 cell is an
+    audit-manifest record with a fingerprint and ground truth for free.
+    """
+    from repro.audit import run_matrix
+
     result = ExperimentResult(
         experiment="E3", description="runtime scaling with n (fixed m, epsilon)"
     )
     start = time.perf_counter()
     rng = _experiment_rng(seed)
     lengths = (4, 6, 8, 10) if quick else (4, 6, 8, 10, 12, 16, 20)
-    suite = scaling_suite_length(lengths=lengths)
-    result.rows = _scaling_rows(
-        suite, "n", include_acjr=not quick, include_montecarlo=True,
-        rng=rng, backend=backend,
+    methods = ["fpras", "montecarlo"] if quick else ["fpras", "acjr", "montecarlo"]
+    family_args = {
+        "num_states": 6,
+        "length": max(lengths),
+        "density": 0.35,
+        "seed": 11,
+    }
+    spec = {
+        "families": [
+            {"family": "random_nfa", "args": family_args, "lengths": list(lengths)}
+        ],
+        "methods": methods,
+        "backends": [backend],
+        "accuracy": [{"epsilon": 0.4, "delta": 0.1}],
+        "seeds": [_derive_seed(rng)],
+        "options": {"montecarlo": {"num_samples": 4000}},
+    }
+    manifest = run_matrix(spec)
+    rows: Dict[int, Dict[str, object]] = {}
+    for record in manifest["scenarios"]:
+        cell = record["spec"]
+        length = int(cell["length"])
+        row = rows.setdefault(
+            length,
+            {
+                "n": f"n={length}",
+                "states": int(family_args["num_states"]),
+                "length": length,
+            },
+        )
+        row["exact"] = record["exact"]
+        method = cell["method"]
+        row[f"{method}_seconds"] = record["elapsed_seconds"]
+        row[f"{method}_rel_error"] = record["relative_error"]
+        if method == "fpras":
+            row["fpras_samples_per_state"] = record["report"]["details"]["ns"]
+            row["backend"] = record["backend"]
+    result.rows = [rows[length] for length in sorted(rows)]
+    _append_growth_note(result, [float(n) for n in sorted(rows)], "fpras_seconds")
+    result.add_note(
+        "cells come from an audited run_matrix sweep of the random_nfa family "
+        "(the registered form of the old scaling_suite_length automaton)."
     )
-    _append_growth_note(result, [float(n) for n in lengths], "fpras_seconds")
     result.elapsed_seconds = time.perf_counter() - start
     return result
 

@@ -9,6 +9,10 @@ from repro.workloads.generator import (
     scaling_suite_length,
     scaling_suite_states,
 )
+from repro.workloads.longwords import (
+    measure_fpras_memory,
+    unary_loop_nfa,
+)
 
 __all__ = [
     "Workload",
@@ -18,4 +22,6 @@ __all__ = [
     "scaling_suite_states",
     "scaling_suite_epsilon",
     "application_suite",
+    "measure_fpras_memory",
+    "unary_loop_nfa",
 ]

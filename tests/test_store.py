@@ -1,0 +1,341 @@
+"""Unit and differential tests for the pluggable state-table stores.
+
+The store layer (:mod:`repro.counting.store`) changes *where* the FPRAS
+dynamic-program tables live, never their values.  This suite pins that
+contract down in two halves:
+
+* unit tests for the stores themselves — the spill / fault mechanics of
+  the windowed level tables (sample lists *and* per-state sample counts),
+  the evicted-write guard, the mapping protocol, the factory and the knob
+  validators;
+* a property-based differential suite: random automata are counted under
+  the dict store and the windowed store (random window widths, every
+  importable backend, workers 1 vs 4) and the runs must be bit-identical
+  in estimates, full state tables, the algorithm-level work counters and
+  the final RNG state.  The store's own ``store_*`` counters are
+  representation diagnostics and are *excluded* from parity — they are
+  exactly what is allowed to differ.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.automata.engine import available_backends
+from repro.automata.random_gen import random_nonempty_nfa
+from repro.counting.api import CountRequest, count, request_fingerprint
+from repro.counting.fpras import NFACounter
+from repro.counting.params import FPRASParameters, ParameterScale
+from repro.counting.store import (
+    DEFAULT_WINDOW,
+    DictStore,
+    WindowedStore,
+    create_store,
+    validate_store,
+    validate_window,
+)
+from repro.errors import ParameterError, ReproError
+
+#: Work counters that are part of the parity contract (algorithm-level, in
+#: contrast to the ``store_*`` / engine diagnostics that may differ).
+WORK_COUNTERS = (
+    "union_calls",
+    "membership_calls",
+    "sample_draws",
+    "sample_successes",
+    "padded_states",
+)
+
+
+# ----------------------------------------------------------------------
+# Store unit tests
+# ----------------------------------------------------------------------
+def test_validate_store_accepts_known_names():
+    assert validate_store("dict") == "dict"
+    assert validate_store("windowed") == "windowed"
+
+
+def test_validate_store_rejects_unknown_name():
+    with pytest.raises(ParameterError, match="unknown state-table store"):
+        validate_store("ram")
+
+
+@pytest.mark.parametrize("window", [0, -1, True, "4", 2.0, None])
+def test_validate_window_rejects_non_positive_ints(window):
+    with pytest.raises(ParameterError, match="window must be a positive integer"):
+        validate_window(window)
+
+
+def test_create_store_factory():
+    assert isinstance(create_store(), DictStore)
+    assert isinstance(create_store("dict"), DictStore)
+    windowed = create_store("windowed", window=2)
+    assert isinstance(windowed, WindowedStore)
+    assert windowed.window == 2
+    assert create_store("windowed").window == DEFAULT_WINDOW
+    with pytest.raises(ParameterError):
+        create_store("mmap")
+    windowed.close()
+
+
+def test_dict_store_is_plain_dicts_with_zero_counters():
+    store = DictStore()
+    assert type(store.estimates) is dict
+    assert type(store.samples) is dict
+    assert type(store.sample_counts) is dict
+    assert all(value == 0 for value in store.counters().values())
+    store.close()  # must be a harmless no-op
+    store.close()
+
+
+def test_windowed_store_spills_and_faults_identically():
+    store = WindowedStore(window=2)
+    words = {level: [("a",) * level, ("b",) * level] for level in range(5)}
+    for level in range(5):
+        store.samples[("q", level)] = words[level]
+        store.samples[("r", level)] = []
+    counters = store.counters()
+    # Window 2 over levels 0..4 leaves {3, 4} resident: levels 0..2 spilled.
+    assert counters["store_windowed"] == 1
+    assert counters["store_spilled_levels"] == 3
+    assert counters["store_evicted_entries"] == 6
+    assert counters["store_spill_bytes"] > 0
+    assert counters["store_level_faults"] == 0
+    # Reads below the window fault the level back with identical values.
+    for level in range(5):
+        assert store.samples[("q", level)] == words[level]
+        assert store.samples[("r", level)] == []
+    assert store.counters()["store_level_faults"] > 0
+    store.close()
+
+
+def test_windowed_store_rejects_writes_to_evicted_levels():
+    store = WindowedStore(window=1)
+    store.samples[("q", 0)] = [()]
+    store.samples[("q", 1)] = [("a",)]
+    with pytest.raises(ReproError, match="evicted"):
+        store.samples[("q", 0)] = [("x",)]
+    store.close()
+
+
+def test_windowed_store_mapping_protocol():
+    store = WindowedStore(window=2)
+    table = store.samples
+    payload = {("q", 0): [()], ("r", 0): [()], ("q", 1): [("a",)]}
+    for key, value in payload.items():
+        table[key] = value
+    assert len(table) == 3
+    assert ("q", 1) in table
+    assert ("missing", 7) not in table
+    assert table.get(("missing", 7)) is None
+    assert table.get(("missing", 7), "fallback") == "fallback"
+    assert sorted(table.keys()) == sorted(payload)
+    assert set(iter(table)) == set(payload)
+    assert dict(table.items()) == payload
+    with pytest.raises(KeyError):
+        table[("missing", 7)]
+    store.close()
+    store.close()  # idempotent
+
+
+def test_windowed_store_windows_sample_counts_too():
+    store = WindowedStore(window=2)
+    for level in range(6):
+        store.samples[("q", level)] = [("a",) * level]
+        store.sample_counts[("q", level)] = level + 1
+    counters = store.counters()
+    # Both per-level tables spill (counters sum the two).
+    assert counters["store_spilled_levels"] == 8
+    assert counters["store_evicted_entries"] == 8
+    # Cold iteration faults everything back, values intact.
+    assert dict(store.sample_counts) == {
+        ("q", level): level + 1 for level in range(6)
+    }
+    assert store.counters()["store_level_faults"] > 0
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# Differential suite: dict vs windowed must be bit-identical
+# ----------------------------------------------------------------------
+def _scale() -> ParameterScale:
+    """A small scaled configuration so each differential run takes ~ms."""
+    return ParameterScale(
+        mode="scaled", sample_cap=4, attempt_factor=2.0,
+        union_trial_cap=8, union_trial_floor=2,
+    )
+
+
+def _run_counter(nfa, length, *, store, window=DEFAULT_WINDOW, backend=None,
+                 seed=20240727, scale=None):
+    """One serial FPRAS run; returns every parity-relevant observable."""
+    parameters = FPRASParameters(
+        epsilon=0.6,
+        delta=0.2,
+        seed=seed,
+        backend=backend,
+        use_engine_cache=False,
+        store=store,
+        window=window,
+        scale=scale if scale is not None else _scale(),
+    )
+    counter = NFACounter(nfa, length, parameters=parameters)
+    result = counter.run()
+    observed = {
+        "estimate": result.estimate,
+        "state_estimates": dict(result.state_estimates),
+        "sample_counts": dict(result.sample_counts),
+        "work": {name: getattr(result, name) for name in WORK_COUNTERS},
+        "rng_state": counter.rng.getstate(),
+    }
+    store_counters = counter.store.counters()
+    counter.store.close()
+    return observed, store_counters
+
+
+def test_windowed_store_matches_dict_store_on_random_nfas():
+    """Property suite: random automata x random windows, serial runs."""
+    driver = random.Random(987)
+    for trial in range(4):
+        nfa = random_nonempty_nfa(
+            num_states=driver.randint(3, 6),
+            length=10,
+            density=driver.uniform(0.25, 0.5),
+            seed=driver.randrange(2**32),
+        )
+        window = driver.choice([1, 2, 3, 7])
+        resident, _ = _run_counter(nfa, 10, store="dict")
+        windowed, counters = _run_counter(nfa, 10, store="windowed", window=window)
+        assert windowed == resident, (
+            f"trial {trial}: windowed(window={window}) diverged from dict"
+        )
+        if window < 10:
+            assert counters["store_spilled_levels"] > 0
+
+
+@pytest.mark.parametrize(
+    "backend",
+    [name for name in ("bitset", "reference", "numpy")
+     if name in available_backends()],
+)
+def test_windowed_store_matches_dict_store_per_backend(backend):
+    nfa = random_nonempty_nfa(num_states=5, length=9, seed=321)
+    resident, _ = _run_counter(nfa, 9, store="dict", backend=backend)
+    windowed, _ = _run_counter(nfa, 9, store="windowed", window=2, backend=backend)
+    assert windowed == resident
+
+
+def _api_observables(report):
+    raw = report.raw
+    return {
+        "estimate": report.estimate,
+        "state_estimates": dict(raw.state_estimates),
+        "sample_counts": dict(raw.sample_counts),
+        "work": {name: getattr(raw, name) for name in WORK_COUNTERS},
+    }
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_windowed_store_matches_dict_store_sharded(workers):
+    """Dict vs windowed through the parallel executor, serial vs pool."""
+    nfa = random_nonempty_nfa(num_states=5, length=8, seed=55)
+    reports = {
+        store: count(
+            nfa, 8, method="fpras", epsilon=0.6, delta=0.2, seed=7,
+            workers=workers, shards=3, store=store, window=2, scale=_scale(),
+        )
+        for store in ("dict", "windowed")
+    }
+    assert _api_observables(reports["windowed"]) == _api_observables(reports["dict"])
+
+
+def test_workers_do_not_change_windowed_results():
+    nfa = random_nonempty_nfa(num_states=4, length=8, seed=91)
+    kwargs = dict(
+        method="fpras", epsilon=0.6, delta=0.2, seed=13, shards=4,
+        store="windowed", window=3, scale=_scale(),
+    )
+    serial = count(nfa, 8, workers=1, **kwargs)
+    pooled = count(nfa, 8, workers=4, **kwargs)
+    assert _api_observables(pooled) == _api_observables(serial)
+
+
+def test_reuse_descent_steps_changes_only_the_cache_hit_diagnostic():
+    """The cross-batch descent memo must be invisible except to
+    ``union_cache_hits`` (a cache diagnostic, not an algorithm counter)."""
+    from repro.workloads.longwords import long_word_scale, unary_loop_nfa
+
+    nfa = unary_loop_nfa()
+    scale_on = long_word_scale()
+    scale_off = scale_on.with_overrides(reuse_descent_steps=False)
+    for store in ("dict", "windowed"):
+        on, _ = _run_counter(nfa, 64, store=store, window=3, scale=scale_on)
+        off, _ = _run_counter(nfa, 64, store=store, window=3, scale=scale_off)
+        assert on == off
+    assert scale_on.reuse_descent_steps and not scale_off.reuse_descent_steps
+
+
+def test_store_knobs_are_fingerprint_neutral():
+    """``store`` / ``window`` / ``details`` never change the request
+    fingerprint — the serving cache may answer across store configs."""
+    from repro.automata.families import no_consecutive_ones_nfa
+    from repro.automata.serialization import nfa_to_dict
+
+    document = nfa_to_dict(no_consecutive_ones_nfa())
+    base = CountRequest(method="fpras", seed=3)
+    variants = [
+        CountRequest(method="fpras", seed=3,
+                     options={"store": "windowed", "window": 2}),
+        CountRequest(method="fpras", seed=3, options={"details": "summary"}),
+    ]
+    fingerprints = {request_fingerprint(document, 6, req)
+                    for req in [base] + variants}
+    assert len(fingerprints) == 1
+    changed = CountRequest(method="fpras", seed=4)
+    assert request_fingerprint(document, 6, changed) not in fingerprints
+
+
+def test_summary_details_round_trip_under_windowed_store():
+    nfa = random_nonempty_nfa(num_states=4, length=7, seed=17)
+    full = count(nfa, 7, method="fpras", epsilon=0.6, seed=5,
+                 store="windowed", window=2, scale=_scale())
+    summary = count(nfa, 7, method="fpras", epsilon=0.6, seed=5,
+                    store="windowed", window=2, details="summary",
+                    scale=_scale())
+    assert summary.estimate == full.estimate
+    assert summary.raw.state_estimates == {}
+    assert summary.raw.sample_counts == {}
+    assert summary.raw.table_summary["final_level_estimates"]
+    restored = type(summary).from_dict(summary.to_dict())
+    assert restored.estimate == summary.estimate
+    assert restored.raw.table_summary == summary.raw.table_summary
+
+
+def test_matrix_manifests_group_dict_vs_windowed():
+    """Per-group audit manifests: the windowed matrix reproduces the dict
+    matrix scenario-for-scenario (same ids, fingerprints, estimates)."""
+    from repro.audit.manifest import run_matrix
+
+    base_spec = {
+        "families": [
+            {"family": "random_nfa",
+             "args": {"num_states": 4, "seed": 7}, "lengths": [7]},
+        ],
+        "methods": ["fpras"],
+        "accuracy": [{"epsilon": 0.6, "delta": 0.2}],
+        "seeds": [1, 2],
+        "scale": {"sample_cap": 4, "union_trial_cap": 8},
+    }
+    windowed_spec = dict(base_spec)
+    windowed_spec["options"] = {"fpras": {"store": "windowed", "window": 2}}
+    resident = run_matrix(base_spec)["scenarios"]
+    windowed = run_matrix(windowed_spec)["scenarios"]
+    assert len(resident) == len(windowed) == 2
+    for lhs, rhs in zip(resident, windowed):
+        assert lhs["id"] == rhs["id"]
+        assert lhs["group"] == rhs["group"]
+        assert lhs["fingerprint"] == rhs["fingerprint"]
+        assert lhs["estimate"] == rhs["estimate"]
+        assert rhs["spec"]["options"]["store"] == "windowed"

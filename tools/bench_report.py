@@ -1,4 +1,4 @@
-"""Emit a machine-readable performance snapshot (``BENCH_8.json``).
+"""Emit a machine-readable performance snapshot (``BENCH_9.json``).
 
 Since PR 7 the bench report *is* an audit manifest: the counting workloads
 are declared as scenario-matrix specs (:mod:`repro.audit.scenarios`) and
@@ -6,7 +6,7 @@ executed through the manifest pipeline (:mod:`repro.audit.manifest`), so
 the emitted document carries the full audit trail — git revision,
 python/numpy versions, per-scenario workload fingerprints, estimates vs.
 exact ground truth, observed relative error, median wall times and
-engine-counter deltas — and two consecutive ``BENCH_8.json`` artifacts can
+engine-counter deltas — and two consecutive ``BENCH_9.json`` artifacts can
 be gated with ``repro audit-diff`` exactly like the CI audit manifests.
 Alongside the synthetic hot-path workloads the report times real-workload
 corpus fixtures (:mod:`repro.corpus` — log/lint/validation regexes and RPQ
@@ -15,13 +15,22 @@ query classes) via :data:`CORPUS_SPEC`.  The serving-layer benchmarks
 :class:`~repro.serve.server.CountingServer`) and the headline speedup
 ratios ride along in a ``bench`` extras section.
 
+With ``--scaling-n`` the report additionally runs the long-word streaming
+sweep (:func:`repro.workloads.longwords.long_word_sweep`): the unary
+bounded-count workload at ``n ∈ {1000, 5000, 20000}`` under the dict store
+(up to its ``O(n^2)`` ceiling) and the windowed store, with a tracemalloc
+peak-memory column per row and the windowed peak-memory ratio (largest vs
+smallest ``n``) checked against the 10x streaming bound.  The sweep takes
+tens of minutes under tracemalloc — it is off by default so the CI smoke
+invocation stays fast.
+
 Every workload is seeded (:data:`SEED`), so estimate drift across runs of
 the same commit indicates a determinism bug, not noise; wall times are
 medians over ``--repeats`` runs on a warm engine registry.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_report.py --output BENCH_8.json
+    PYTHONPATH=src python tools/bench_report.py --output BENCH_9.json
 """
 
 from __future__ import annotations
@@ -246,7 +255,7 @@ def _ratios(
     return ratios
 
 
-def build_report(repeats: int) -> Dict[str, object]:
+def build_report(repeats: int, scaling_n: bool = False) -> Dict[str, object]:
     """Run the bench matrix and serving benchmarks into one manifest."""
     scenarios = bench_scenarios()
     serve_entries, serve_counters = _serve_benchmarks(repeats)
@@ -258,25 +267,34 @@ def build_report(repeats: int) -> Dict[str, object]:
         "serve_benchmarks": serve_entries,
         "serve_counters": serve_counters,
     }
+    if scaling_n:
+        from repro.workloads.longwords import long_word_sweep
+
+        manifest["bench"]["scaling_n"] = long_word_sweep()
     return manifest
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the smoke-scale bench matrix and write BENCH_8.json"
+        description="Run the smoke-scale bench matrix and write BENCH_9.json"
     )
     parser.add_argument(
-        "--output", default="BENCH_8.json", help="output path (default: %(default)s)"
+        "--output", default="BENCH_9.json", help="output path (default: %(default)s)"
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
         help="timing repetitions per workload; the median is reported "
         "(default: %(default)s)",
     )
+    parser.add_argument(
+        "--scaling-n", action="store_true",
+        help="also run the long-word streaming sweep (n up to 20000; "
+        "tens of minutes under tracemalloc — not part of the CI smoke run)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
-    document = build_report(args.repeats)
+    document = build_report(args.repeats, scaling_n=args.scaling_n)
     # The bench artifact is a named, per-run file (CI uploads it per run, so
     # the trajectory accumulates there); local reruns may overwrite it.
     path = write_manifest(document, args.output, overwrite=True)
@@ -287,6 +305,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     for key, value in sorted(document["bench"]["ratios"].items()):
         print(f"  {key}: {value:.3f}")
+    scaling = document["bench"].get("scaling_n")
+    if scaling:
+        summary = scaling["summary"]
+        print(
+            f"  scaling-n: windowed peak ratio n={summary['n_max']} vs "
+            f"n={summary['n_min']}: {summary['windowed_peak_ratio']:.2f}x "
+            f"(bound {summary['memory_bound_ratio']:.0f}x, "
+            f"within={summary['within_memory_bound']})"
+        )
     return 0
 
 
