@@ -1,0 +1,57 @@
+"""Level-kernel speedup gate: one tensor pass per unrolling level.
+
+The level-kernel API (negotiated through ``Engine.capabilities()``) turns
+batched :class:`~repro.automata.unroll.ReachabilityCache` materialisation
+from one engine call per trie node into one stacked gather/OR-reduce per
+``(level, symbol)`` group.  This benchmark runs the shared sweep
+(:mod:`repro.workloads.levelkernel` — also emitted into ``BENCH_10.json``
+by ``tools/bench_report.py``) over ``m ∈ {64, 256, 512, 1024}`` and
+asserts the PR 10 acceptance claim: at ``m = 512`` the kernel path is at
+least 2x the PR 4 scalar numpy path, with bit-identical handles and
+identical work counters (parity is asserted *inside* every measurement —
+a fast wrong kernel cannot publish a number).
+
+Like every benchmark in this tree, the assertion pins the shape of the
+claim (the floor at the gate point), not absolute timings; the large-m
+edge rides along as recorded context.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.workloads.levelkernel import (
+    DEFAULT_SWEEP_MS,
+    KERNEL_GATE_M,
+    KERNEL_SPEEDUP_FLOOR,
+    level_kernel_sweep,
+)
+
+pytest.importorskip("numpy")
+
+
+def test_level_kernel_speedup_gate(benchmark, report):
+    sweep = benchmark.pedantic(level_kernel_sweep, rounds=1, iterations=1)
+    rows = sweep["rows"]
+    report(
+        format_table(
+            rows,
+            title="Level-kernel sweep (batched ReachabilityCache, kernel vs scalar numpy)",
+        )
+    )
+    summary = sweep["summary"]
+    report(
+        f"Level-kernel gate: {summary['gate_speedup']:.2f}x at "
+        f"m={summary['gate_m']} (floor {summary['speedup_floor']:.1f}x)"
+    )
+    assert set(row["m"] for row in rows) == set(DEFAULT_SWEEP_MS)
+    # Every row passed the in-sweep observational-identity asserts.
+    assert all(row["parity"] for row in rows)
+    assert all(row["kernel_batches"] > 0 for row in rows)
+    assert summary["gate_m"] == KERNEL_GATE_M
+    assert summary["meets_floor"], (
+        f"level-kernel path is {summary['gate_speedup']:.2f}x at "
+        f"m={KERNEL_GATE_M}, below the {KERNEL_SPEEDUP_FLOOR:.1f}x floor: "
+        f"{[(row['m'], round(row['speedup'], 2)) for row in rows]}"
+    )

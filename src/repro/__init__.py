@@ -44,7 +44,9 @@ from repro.counting import (
     CountReport,
     CountRequest,
     CountResult,
+    ExecutionPolicy,
     FPRASParameters,
+    MethodCapabilities,
     NFACounter,
     ParameterScale,
     UniformWordSampler,
@@ -77,6 +79,8 @@ __all__ = [
     "CountResult",
     "FPRASParameters",
     "ParameterScale",
+    "ExecutionPolicy",
+    "MethodCapabilities",
     "UniformWordSampler",
     "approximate_union",
     "count",

@@ -36,6 +36,7 @@ from repro.counting.api import (
     CountingSession,
     available_methods,
 )
+from repro.counting.policy import ExecutionPolicy
 from repro.errors import ReproError
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.reporting import format_key_values, format_table
@@ -57,13 +58,17 @@ def _family_arguments(raw: Optional[List[str]]) -> dict:
 
 def _session_from_args(args: argparse.Namespace) -> CountingSession:
     """The pinned counting session every estimator sub-command runs through."""
+    policy = ExecutionPolicy(
+        backend=args.backend,
+        use_engine_cache=not args.no_engine_cache,
+        workers=args.workers,
+        kernel=getattr(args, "kernel", "auto"),
+    )
     return CountingSession(
         epsilon=args.epsilon,
         delta=args.delta,
         seed=args.seed,
-        backend=args.backend,
-        use_engine_cache=not args.no_engine_cache,
-        workers=args.workers,
+        policy=policy,
     )
 
 
@@ -190,15 +195,21 @@ def _cmd_families(_args: argparse.Namespace) -> int:
 
 
 def _cmd_methods(_args: argparse.Namespace) -> int:
-    rows = [
-        {
-            "method": name,
-            "summary": METHOD_REGISTRY[name].summary,
-            "options": ", ".join(sorted(METHOD_REGISTRY[name].option_names)) or "-",
-            "parallel": "workers" if METHOD_REGISTRY[name].supports_workers else "-",
-        }
-        for name in available_methods()
-    ]
+    rows = []
+    for name in available_methods():
+        entry = METHOD_REGISTRY[name]
+        capabilities = entry.capabilities
+        rows.append(
+            {
+                "method": name,
+                "summary": entry.summary,
+                "options": ", ".join(sorted(entry.option_names)) or "-",
+                "workers": "yes" if capabilities.workers else "-",
+                "progress": "yes" if capabilities.progress else "-",
+                "stores": ", ".join(capabilities.stores),
+                "kernels": "yes" if capabilities.kernels else "-",
+            }
+        )
     print(format_table(rows, title="registered counting methods"))
     return 0
 
@@ -394,6 +405,15 @@ def _estimator_options(default_epsilon: float) -> argparse.ArgumentParser:
         help="processes for the sharded parallel executor (fpras/montecarlo): "
         "1 = serial (default), 0 = one per CPU; estimates are bit-identical "
         "for every worker count",
+    )
+    shared.add_argument(
+        "--kernel",
+        choices=["auto", "off"],
+        default="auto",
+        help="level-kernel policy: 'auto' negotiates whole-level tensor "
+        "passes on backends whose capabilities declare level_kernel "
+        "(numpy), 'off' forces the scalar per-handle path; estimates and "
+        "RNG streams are bit-identical either way",
     )
     shared.add_argument(
         "--family-arg", action="append", metavar="KEY=VALUE", help="family parameter"

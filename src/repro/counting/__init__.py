@@ -26,6 +26,7 @@ Public entry points:
 """
 
 from repro.counting.params import FPRASParameters, ParameterScale
+from repro.counting.policy import ExecutionPolicy, MethodCapabilities
 from repro.counting.union import SetAccess, UnionEstimate, approximate_union
 from repro.counting.sampler import SampleDraw
 from repro.counting.fpras import CountResult, NFACounter, count_nfa
@@ -50,6 +51,8 @@ from repro.counting.api import (
 __all__ = [
     "FPRASParameters",
     "ParameterScale",
+    "ExecutionPolicy",
+    "MethodCapabilities",
     "SetAccess",
     "UnionEstimate",
     "approximate_union",

@@ -49,6 +49,7 @@ import hashlib
 import json
 import random
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import (
     Callable,
@@ -71,6 +72,11 @@ from repro.counting.fpras import CountResult, FPRASParameters, NFACounter
 from repro.counting.montecarlo import MonteCarloEstimate, run_montecarlo
 from repro.counting.parallel import ProgressCallback, validate_workers
 from repro.counting.params import ParameterScale
+from repro.counting.policy import (
+    POLICY_OPTION_NAMES,
+    ExecutionPolicy,
+    MethodCapabilities,
+)
 from repro.errors import CountingMethodError, ParameterError
 
 #: A seed is either absent, an integer, or an existing stream to continue.
@@ -120,6 +126,17 @@ class CountRequest:
         ``sample_cap`` / ``attempt_factor`` (acjr), ``num_samples``
         (montecarlo), ``limit`` (bruteforce).  Unknown options are rejected
         at dispatch.
+    policy:
+        Optional :class:`~repro.counting.policy.ExecutionPolicy` bundling
+        the execution knobs (``backend``, ``use_engine_cache``,
+        ``workers``, ``shards``, ``store``, ``window``, ``kernel``).  A
+        policy is *consumed* at construction: its core knobs populate the
+        flat fields, its non-default method options merge into
+        ``options``, and the stored ``policy`` attribute is normalised
+        back to ``None`` — so a policy-built request compares (and
+        fingerprints) equal to the flat-kwarg spelling of the same run.
+        Passing a policy together with conflicting flat execution knobs
+        is an error rather than a silent override.
 
     >>> CountRequest(method="montecarlo", options={"num_samples": 64}).epsilon
     0.5
@@ -127,6 +144,11 @@ class CountRequest:
     Traceback (most recent call last):
         ...
     repro.errors.ParameterError: epsilon must be positive
+    >>> CountRequest(policy=ExecutionPolicy(backend="bitset", workers=2)).workers
+    2
+    >>> CountRequest(policy=ExecutionPolicy(store="windowed")) == CountRequest(
+    ...     options={"store": "windowed"})
+    True
     """
 
     method: str = DEFAULT_METHOD
@@ -137,6 +159,7 @@ class CountRequest:
     use_engine_cache: bool = True
     workers: int = 1
     options: Mapping[str, object] = field(default_factory=dict)
+    policy: Optional[ExecutionPolicy] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.method, str) or not self.method:
@@ -147,6 +170,39 @@ class CountRequest:
             raise ParameterError("delta must lie in (0, 1)")
         if self.seed is not None and not isinstance(self.seed, (int, random.Random)):
             raise ParameterError("seed must be None, an int, or a random.Random")
+        try:
+            options = dict(self.options)
+        except (TypeError, ValueError):
+            raise ParameterError("options must be a mapping of option names to values")
+        if any(not isinstance(key, str) for key in options):
+            raise ParameterError("option names must be strings")
+        if self.policy is not None:
+            if not isinstance(self.policy, ExecutionPolicy):
+                raise ParameterError(
+                    "policy must be an ExecutionPolicy instance "
+                    f"(got {type(self.policy).__name__})"
+                )
+            conflicts = [
+                name
+                for name, used in (
+                    ("backend", self.backend is not None),
+                    ("use_engine_cache", self.use_engine_cache is not True),
+                    ("workers", self.workers != 1),
+                )
+                if used
+            ]
+            conflicts.extend(sorted(set(options) & set(POLICY_OPTION_NAMES)))
+            if conflicts:
+                raise ParameterError(
+                    f"execution knob(s) {conflicts} conflict with the explicit "
+                    "policy; set them on the ExecutionPolicy instead"
+                )
+            object.__setattr__(self, "backend", self.policy.backend)
+            object.__setattr__(self, "use_engine_cache", self.policy.use_engine_cache)
+            object.__setattr__(self, "workers", self.policy.workers)
+            options.update(self.policy.method_options())
+            # Consumed: the normalised request is spelling-independent.
+            object.__setattr__(self, "policy", None)
         if self.backend is not None and self.backend not in available_backends():
             raise ParameterError(
                 f"unknown simulation backend {self.backend!r}; "
@@ -155,13 +211,11 @@ class CountRequest:
         if not isinstance(self.use_engine_cache, bool):
             raise ParameterError("use_engine_cache must be a bool")
         validate_workers(self.workers)
-        try:
-            options = dict(self.options)
-        except (TypeError, ValueError):
-            raise ParameterError("options must be a mapping of option names to values")
-        if any(not isinstance(key, str) for key in options):
-            raise ParameterError("option names must be strings")
         object.__setattr__(self, "options", options)
+
+    def execution_policy(self) -> ExecutionPolicy:
+        """The :class:`ExecutionPolicy` this normalised request denotes."""
+        return ExecutionPolicy.from_request(self)
 
     def rng(self) -> random.Random:
         """The run's randomness stream (a fresh ``Random`` unless one was given)."""
@@ -538,7 +592,7 @@ class CounterMethod(Protocol):
     name: str
     summary: str
     option_names: FrozenSet[str]
-    supports_workers: bool
+    capabilities: MethodCapabilities
 
     def run(self, nfa: NFA, length: int, request: CountRequest) -> CountReport:
         """Execute the method for one instance and return its report."""
@@ -555,7 +609,12 @@ class RegisteredMethod:
     summary: str
     option_names: FrozenSet[str]
     runner: MethodRunner = field(repr=False)
-    supports_workers: bool = False
+    capabilities: MethodCapabilities = field(default_factory=MethodCapabilities)
+
+    @property
+    def supports_workers(self) -> bool:
+        """Deprecated alias for ``capabilities.workers`` (read-only shim)."""
+        return self.capabilities.workers
 
     def run(self, nfa: NFA, length: int, request: CountRequest) -> CountReport:
         """Delegate to the wrapped runner function."""
@@ -571,25 +630,48 @@ def register_method(
     *,
     summary: str,
     options: Tuple[str, ...] = (),
-    supports_workers: bool = False,
+    capabilities: Optional[MethodCapabilities] = None,
+    supports_workers: Optional[bool] = None,
 ) -> Callable[[MethodRunner], MethodRunner]:
     """Class/function decorator adding a counting method to the registry.
 
     ``options`` names the per-method knobs the method accepts through
     :attr:`CountRequest.options`; anything else is rejected at dispatch.
-    ``supports_workers`` declares that the runner honours
-    :attr:`CountRequest.workers` (i.e. it routes through the sharded
-    executor in :mod:`repro.counting.parallel`); dispatch rejects
-    ``workers != 1`` for methods that do not.
+    ``capabilities`` is the method's declarative
+    :class:`~repro.counting.policy.MethodCapabilities` record — most
+    importantly ``workers=True`` declares that the runner honours
+    :attr:`CountRequest.workers` (routing through the sharded executor in
+    :mod:`repro.counting.parallel`); dispatch rejects ``workers != 1``
+    for methods that do not declare it.  ``supports_workers`` is the
+    deprecated boolean spelling of ``capabilities.workers``: it still
+    works (emitting a :class:`DeprecationWarning`) but may not contradict
+    an explicit ``capabilities`` record.
 
     >>> @register_method("fortytwo", summary="always 42")
     ... def _run(nfa, length, request):
     ...     return CountReport(estimate=42.0, method="fortytwo", length=length,
     ...                        num_states=nfa.num_states, elapsed_seconds=0.0)
+    >>> METHOD_REGISTRY["fortytwo"].capabilities.workers
+    False
     >>> "fortytwo" in available_methods()
     True
     >>> _ = METHOD_REGISTRY.pop("fortytwo")  # keep the doctest side-effect free
     """
+    if supports_workers is not None:
+        warnings.warn(
+            "register_method(supports_workers=...) is deprecated; declare "
+            "capabilities=MethodCapabilities(workers=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if capabilities is None:
+            capabilities = MethodCapabilities(workers=bool(supports_workers))
+        elif capabilities.workers != bool(supports_workers):
+            raise ParameterError(
+                "supports_workers contradicts the explicit capabilities record"
+            )
+    resolved = capabilities if capabilities is not None else MethodCapabilities()
+
     def decorator(runner: MethodRunner) -> MethodRunner:
         if name in METHOD_REGISTRY:
             raise CountingMethodError(f"counting method {name!r} is already registered")
@@ -598,7 +680,7 @@ def register_method(
             summary=summary,
             option_names=frozenset(options),
             runner=runner,
-            supports_workers=supports_workers,
+            capabilities=resolved,
         )
         return runner
 
@@ -636,6 +718,7 @@ def fpras_parameters(request: CountRequest) -> FPRASParameters:
         store=request.option("store", "dict"),
         window=request.option("window", 4),
         details=request.option("details", "full"),
+        kernel=request.option("kernel", "auto"),
     )
 
 
@@ -657,8 +740,13 @@ def _engine_counter_deltas(engine, base: Dict[str, int], from_cache: bool) -> Di
 @register_method(
     "fpras",
     summary="the paper's FPRAS (Algorithm 3)",
-    options=("scale", "shards", "store", "window", "details"),
-    supports_workers=True,
+    options=("scale", "shards", "store", "window", "details", "kernel"),
+    capabilities=MethodCapabilities(
+        workers=True,
+        progress=True,
+        stores=("dict", "windowed"),
+        kernels=True,
+    ),
 )
 def _run_fpras(
     nfa: NFA,
@@ -764,7 +852,7 @@ def _run_acjr(nfa: NFA, length: int, request: CountRequest) -> CountReport:
     "montecarlo",
     summary="naive Monte-Carlo sampling baseline",
     options=("num_samples",),
-    supports_workers=True,
+    capabilities=MethodCapabilities(workers=True, progress=True),
 )
 def _run_montecarlo(
     nfa: NFA,
@@ -902,11 +990,11 @@ def _check_dispatch(method: CounterMethod, request: CountRequest) -> None:
             f"method {request.method!r} does not accept option(s) {sorted(unknown)}; "
             f"accepted options: {accepted if accepted else 'none'}"
         )
-    if request.workers != 1 and not getattr(method, "supports_workers", False):
+    if request.workers != 1 and not method.capabilities.workers:
         supported = sorted(
             name
             for name, entry in METHOD_REGISTRY.items()
-            if getattr(entry, "supports_workers", False)
+            if entry.capabilities.workers
         )
         raise CountingMethodError(
             f"method {request.method!r} does not support sharded parallel "
@@ -948,9 +1036,14 @@ def count_with_progress(
         return _run_fpras(nfa, length, request, progress=progress)
     if request.method == "montecarlo":
         return _run_montecarlo(nfa, length, request, progress=progress)
+    supported = sorted(
+        name
+        for name, entry in METHOD_REGISTRY.items()
+        if entry.capabilities.progress
+    )
     raise CountingMethodError(
         f"method {request.method!r} does not support anytime progress; "
-        f"methods with progress support: {list(PROGRESS_METHODS)}"
+        f"methods with progress support: {supported}"
     )
 
 
@@ -959,11 +1052,13 @@ def count_with_progress(
 # ----------------------------------------------------------------------
 #: Per-method options that can never change an estimate — the state-table
 #: store and its window only move table entries between RAM and spill (the
-#: parity contract in :mod:`repro.counting.store`), and ``details`` only
-#: selects how much of the tables a report embeds.  Like ``workers``, they
-#: are excluded from the cache key so one cached answer serves every
-#: store/report configuration.
-RESULT_NEUTRAL_OPTIONS = frozenset({"store", "window", "details"})
+#: parity contract in :mod:`repro.counting.store`), ``details`` only
+#: selects how much of the tables a report embeds, and ``kernel`` only
+#: chooses between the bit-identical level-kernel and scalar execution
+#: paths (the kernel parity contract in :mod:`repro.automata.unroll`).
+#: Like ``workers``, they are excluded from the cache key so one cached
+#: answer serves every execution configuration.
+RESULT_NEUTRAL_OPTIONS = frozenset({"store", "window", "details", "kernel"})
 
 
 def canonical_request_knobs(request: CountRequest, length: int) -> Dict[str, object]:
@@ -988,6 +1083,10 @@ def canonical_request_knobs(request: CountRequest, length: int) -> Dict[str, obj
     >>> c = CountRequest(method="fpras", seed=7,
     ...                  options={"shards": 2, "store": "windowed", "window": 8})
     >>> canonical_request_knobs(c, 8) == canonical_request_knobs(a, 8)
+    True
+    >>> d = CountRequest(method="fpras", seed=7,
+    ...                  options={"shards": 2, "kernel": "off"})
+    >>> canonical_request_knobs(d, 8) == canonical_request_knobs(a, 8)
     True
     """
     if isinstance(request.seed, random.Random):
@@ -1040,6 +1139,39 @@ def request_fingerprint(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def _warn_flat_execution_kwargs(
+    backend: Optional[str],
+    use_engine_cache: bool,
+    workers: int,
+    options: Mapping[str, object],
+) -> None:
+    """One :class:`DeprecationWarning` for the legacy flat execution knobs.
+
+    Emitted by the user-facing entry points (:func:`count` and
+    :class:`CountingSession`) when execution knobs arrive as flat kwargs
+    instead of an :class:`~repro.counting.policy.ExecutionPolicy`.  The
+    flat spelling keeps working — and denotes exactly the same request,
+    fingerprint included — it is just no longer the recommended surface.
+    """
+    legacy = [
+        name
+        for name, used in (
+            ("backend", backend is not None),
+            ("use_engine_cache", use_engine_cache is not True),
+            ("workers", workers != 1),
+        )
+        if used
+    ]
+    legacy.extend(sorted(set(options) & set(POLICY_OPTION_NAMES)))
+    if legacy:
+        warnings.warn(
+            f"flat execution kwarg(s) {legacy} are deprecated; bundle them "
+            "into an ExecutionPolicy and pass policy=...",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+
 def count(
     nfa: NFA,
     length: int,
@@ -1051,19 +1183,27 @@ def count(
     backend: Optional[str] = None,
     use_engine_cache: bool = True,
     workers: int = 1,
+    policy: Optional[ExecutionPolicy] = None,
     **options: object,
 ) -> CountReport:
     """Count ``|L(A_length)|`` with any registered method (``repro.count``).
 
     Extra keyword arguments become per-method options (``scale``,
     ``shards``, ``sample_cap``, ``num_samples``, ``limit``, …).
-    ``workers`` runs methods with worker support (``fpras``,
-    ``montecarlo``) through the sharded parallel executor — see
-    :mod:`repro.counting.parallel`; estimates are bit-identical for every
-    worker count.
+    ``policy`` bundles the execution knobs into one typed
+    :class:`~repro.counting.policy.ExecutionPolicy`; the flat ``backend``
+    / ``use_engine_cache`` / ``workers`` (and the ``shards`` / ``store``
+    / ``window`` / ``kernel`` options) remain as deprecation shims that
+    denote bit-identical requests.  ``workers`` runs methods declaring
+    worker capability (``fpras``, ``montecarlo``) through the sharded
+    parallel executor — see :mod:`repro.counting.parallel`; estimates are
+    bit-identical for every worker count.
 
     >>> from repro.automata.families import no_consecutive_ones_nfa
     >>> count(no_consecutive_ones_nfa(), 5, method="bruteforce").raw
+    13
+    >>> count(no_consecutive_ones_nfa(), 5, method="exact",
+    ...       policy=ExecutionPolicy()).raw
     13
     >>> count(no_consecutive_ones_nfa(), 5, method="no_such_method")
     Traceback (most recent call last):
@@ -1071,6 +1211,8 @@ def count(
     repro.errors.CountingMethodError: unknown counting method 'no_such_method'; \
 available: ['acjr', 'bruteforce', 'exact', 'fpras', 'montecarlo']
     """
+    if policy is None:
+        _warn_flat_execution_kwargs(backend, use_engine_cache, workers, options)
     request = CountRequest(
         method=method,
         epsilon=epsilon,
@@ -1080,6 +1222,7 @@ available: ['acjr', 'bruteforce', 'exact', 'fpras', 'montecarlo']
         use_engine_cache=use_engine_cache,
         workers=workers,
         options=options,
+        policy=policy,
     )
     return dispatch(nfa, length, request)
 
@@ -1118,8 +1261,11 @@ class CountingSession:
         backend: Optional[str] = None,
         use_engine_cache: bool = True,
         workers: int = 1,
+        policy: Optional[ExecutionPolicy] = None,
         **options: object,
     ) -> None:
+        if policy is None:
+            _warn_flat_execution_kwargs(backend, use_engine_cache, workers, options)
         self._base = CountRequest(
             method=method,
             epsilon=epsilon,
@@ -1129,6 +1275,7 @@ class CountingSession:
             use_engine_cache=use_engine_cache,
             workers=workers,
             options=options,
+            policy=policy,
         )
         # Pinned options must be valid for the pinned method, so typos fail
         # here instead of being silently dropped by the per-method filter in
@@ -1186,7 +1333,7 @@ class CountingSession:
         if (
             request.workers != 1
             and "workers" not in core
-            and not getattr(entry, "supports_workers", False)
+            and not entry.capabilities.workers
         ):
             request = replace(request, workers=1)
         return request

@@ -139,7 +139,9 @@ class NFACounter:
     shared engine registry unless ``parameters.use_engine_cache`` is off;
     AppUnion membership questions are answered through the batched
     reachability API (see
-    :meth:`repro.automata.unroll.UnrolledAutomaton.first_containing_batch`).
+    :meth:`repro.automata.unroll.UnrolledAutomaton.first_containing_batch`),
+    which in turn rides the capability-negotiated level kernel
+    (``parameters.kernel``) on backends that declare one.
     """
 
     def __init__(
@@ -177,6 +179,7 @@ class NFACounter:
             cache_max_words=cache_max_words,
             cache_prefix_limit=cache_prefix_limit,
             cache_max_symbols=cache_max_symbols,
+            kernel=self.parameters.kernel,
         )
         # The state-table store decides where the N / S tables live (all
         # resident for "dict", sliding sample window for "windowed"); the
@@ -613,6 +616,7 @@ def count_nfa(
     directly.
     """
     from repro.counting.api import count
+    from repro.counting.policy import ExecutionPolicy
 
     report = count(
         nfa,
@@ -621,8 +625,7 @@ def count_nfa(
         epsilon=epsilon,
         delta=delta,
         seed=seed,
-        backend=backend,
-        use_engine_cache=use_engine_cache,
+        policy=ExecutionPolicy(backend=backend, use_engine_cache=use_engine_cache),
         scale=scale,
     )
     return report.raw

@@ -153,7 +153,7 @@ class SampleDraw:
         # union estimates consume — is unchanged, so the rework is
         # bit-identical.
         engine = self.unroll.engine
-        predecessor_handle = self.unroll.predecessor_handle
+        predecessor_fan = self.unroll.predecessor_fan
         is_empty = engine.is_empty
         estimate_union = self._estimate_union
         alphabet = self.unroll.nfa.alphabet
@@ -187,10 +187,15 @@ class SampleDraw:
                     continue
                 union_calls_before = statistics.union_calls
                 union_hits_before = statistics.union_cache_hits
+            # One fan call per level: the whole-alphabet predecessor query
+            # goes through the negotiated level kernel when the backend
+            # declares one, and degrades to the scalar per-symbol loop
+            # otherwise — handles, counters and the RNG stream are
+            # bit-identical either way.
             symbol_estimates: Dict[Symbol, float] = {}
             symbol_predecessors: Dict[Symbol, object] = {}
-            for symbol in alphabet:
-                predecessors = predecessor_handle(current, symbol, current_level)
+            fan = predecessor_fan(current, current_level)
+            for symbol, predecessors in zip(alphabet, fan):
                 symbol_predecessors[symbol] = predecessors
                 if is_empty(predecessors):
                     symbol_estimates[symbol] = 0.0

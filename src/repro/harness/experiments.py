@@ -31,6 +31,7 @@ from repro.automata import families
 from repro.automata.exact import enumerate_slice
 from repro.counting.api import CountRequest, count as unified_count
 from repro.counting.fpras import FPRASParameters
+from repro.counting.policy import ExecutionPolicy
 from repro.counting.uniform import UniformWordSampler
 from repro.errors import ExperimentError
 from repro.workloads.generator import (
@@ -273,7 +274,7 @@ def _scaling_rows(
             epsilon=workload.epsilon,
             delta=workload.delta,
             seed=_derive_seed(rng),
-            backend=backend,
+            policy=ExecutionPolicy(backend=backend),
         )
         row["fpras_seconds"] = time.perf_counter() - started
         row["fpras_rel_error"] = fpras.relative_error(exact)
@@ -287,7 +288,7 @@ def _scaling_rows(
                 method="acjr",
                 epsilon=workload.epsilon,
                 seed=_derive_seed(rng),
-                backend=backend,
+                policy=ExecutionPolicy(backend=backend),
             )
             row["acjr_seconds"] = time.perf_counter() - started
             row["acjr_rel_error"] = acjr.relative_error(exact)
@@ -300,7 +301,7 @@ def _scaling_rows(
                 method="montecarlo",
                 num_samples=4000,
                 seed=_derive_seed(rng),
-                backend=backend,
+                policy=ExecutionPolicy(backend=backend),
             )
             row["montecarlo_seconds"] = time.perf_counter() - started
             row["montecarlo_rel_error"] = montecarlo.relative_error(exact)

@@ -65,6 +65,7 @@ from repro.counting.api import (
     request_fingerprint,
 )
 from repro.counting.parallel import WorkerPoolManager, install_pool_manager
+from repro.counting.policy import POLICY_OPTION_NAMES, ExecutionPolicy
 from repro.errors import ReproError, WorkerCrashError
 from repro.serve.cache import ResultCache
 from repro.serve.queue import BoundedRequestQueue
@@ -223,7 +224,16 @@ class CountingServer:
         self.cache = ResultCache(max_entries=cache_entries)
         self.queue = BoundedRequestQueue(capacity=queue_capacity)
         self.pool_manager = WorkerPoolManager(max_idle_per_size=max_idle_pools)
-        self._session = CountingSession(**session_knobs)
+        # Execution knobs travel as a typed policy; the remaining knobs
+        # (method, epsilon, delta, seed, per-method options) pass through.
+        execution = {
+            knob: session_knobs.pop(knob)
+            for knob in ("backend", "use_engine_cache", "workers", *POLICY_OPTION_NAMES)
+            if knob in session_knobs
+        }
+        self._session = CountingSession(
+            policy=ExecutionPolicy(**execution), **session_knobs
+        )
         self._counters: Dict[str, int] = {
             "requests": 0,
             "counting_runs": 0,
@@ -319,13 +329,18 @@ class CountingServer:
         }
 
     def methods(self) -> list:
-        """The ``GET /methods`` payload, straight from the registry."""
+        """The ``GET /methods`` payload, straight from the registry.
+
+        ``supports_workers`` is kept alongside the full ``capabilities``
+        record for wire compatibility with pre-capability clients.
+        """
         return [
             {
                 "name": name,
                 "summary": entry.summary,
                 "options": sorted(entry.option_names),
-                "supports_workers": bool(getattr(entry, "supports_workers", False)),
+                "supports_workers": entry.capabilities.workers,
+                "capabilities": entry.capabilities.describe(),
             }
             for name, entry in sorted(METHOD_REGISTRY.items())
         ]

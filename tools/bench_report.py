@@ -1,4 +1,4 @@
-"""Emit a machine-readable performance snapshot (``BENCH_9.json``).
+"""Emit a machine-readable performance snapshot (``BENCH_10.json``).
 
 Since PR 7 the bench report *is* an audit manifest: the counting workloads
 are declared as scenario-matrix specs (:mod:`repro.audit.scenarios`) and
@@ -6,14 +6,16 @@ executed through the manifest pipeline (:mod:`repro.audit.manifest`), so
 the emitted document carries the full audit trail — git revision,
 python/numpy versions, per-scenario workload fingerprints, estimates vs.
 exact ground truth, observed relative error, median wall times and
-engine-counter deltas — and two consecutive ``BENCH_9.json`` artifacts can
+engine-counter deltas — and two consecutive ``BENCH_10.json`` artifacts can
 be gated with ``repro audit-diff`` exactly like the CI audit manifests.
 Alongside the synthetic hot-path workloads the report times real-workload
 corpus fixtures (:mod:`repro.corpus` — log/lint/validation regexes and RPQ
 query classes) via :data:`CORPUS_SPEC`.  The serving-layer benchmarks
 (cold vs. cached ``POST /count`` against a real
-:class:`~repro.serve.server.CountingServer`) and the headline speedup
-ratios ride along in a ``bench`` extras section.
+:class:`~repro.serve.server.CountingServer`), the level-kernel sweep
+(:func:`repro.workloads.levelkernel.level_kernel_sweep` — kernel vs scalar
+numpy on batched reachability materialisation, numpy permitting) and the
+headline speedup ratios ride along in a ``bench`` extras section.
 
 With ``--scaling-n`` the report additionally runs the long-word streaming
 sweep (:func:`repro.workloads.longwords.long_word_sweep`): the unary
@@ -30,7 +32,7 @@ medians over ``--repeats`` runs on a warm engine registry.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_report.py --output BENCH_9.json
+    PYTHONPATH=src python tools/bench_report.py --output BENCH_10.json
 """
 
 from __future__ import annotations
@@ -267,6 +269,14 @@ def build_report(repeats: int, scaling_n: bool = False) -> Dict[str, object]:
         "serve_benchmarks": serve_entries,
         "serve_counters": serve_counters,
     }
+    if _numpy_version() is not None:
+        from repro.workloads.levelkernel import level_kernel_sweep
+
+        level_kernel = level_kernel_sweep(repeats=repeats)
+        manifest["bench"]["level_kernel"] = level_kernel
+        manifest["bench"]["ratios"]["level_kernel_speedup_m512"] = (
+            level_kernel["summary"]["gate_speedup"]
+        )
     if scaling_n:
         from repro.workloads.longwords import long_word_sweep
 
@@ -276,10 +286,10 @@ def build_report(repeats: int, scaling_n: bool = False) -> Dict[str, object]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Run the smoke-scale bench matrix and write BENCH_9.json"
+        description="Run the smoke-scale bench matrix and write BENCH_10.json"
     )
     parser.add_argument(
-        "--output", default="BENCH_9.json", help="output path (default: %(default)s)"
+        "--output", default="BENCH_10.json", help="output path (default: %(default)s)"
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
